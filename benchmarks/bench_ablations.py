@@ -1,0 +1,47 @@
+"""Ablations of this reproduction's own design choices (see DESIGN.md)."""
+
+from conftest import run_once
+
+from repro.bench.ablations import (
+    run_ablation_coherence_modes,
+    run_ablation_prefetch,
+    run_ablation_rle,
+)
+
+
+def test_ablation_prefetch_degree(benchmark, effort, record):
+    """Prefetching helps scans monotonically but cannot close the gap to
+    local execution (per-page trap cost survives any degree)."""
+    result = record(run_once(benchmark, run_ablation_prefetch, effort=effort))
+    times = result.series("ddc_s")
+    # More prefetching never hurts scans...
+    for shallow, deep in zip(times, times[1:]):
+        assert deep <= shallow * 1.02
+    # ...but even the deepest prefetch leaves a real slowdown.
+    assert result.rows[-1]["slowdown_vs_local"] > 2
+
+
+def test_ablation_rle_compression(benchmark, effort, record):
+    """The Section 6 RLE optimisation shrinks the pushdown request."""
+    result = record(run_once(benchmark, run_ablation_rle, effort=effort))
+    requests = result.series("request_ms")
+    for bigger, smaller in zip(requests, requests[1:]):
+        assert smaller <= bigger
+    # Uncompressed vs the paper's 20x: a visible difference per call.
+    assert requests[0] > 3 * requests[2]
+
+
+def test_ablation_coherence_modes(benchmark, effort, record):
+    """Under writer-writer contention, weak ordering avoids per-access
+    traffic entirely; PSO trades eviction round trips for demote/upgrade
+    pairs (fewer page transfers, not fewer messages)."""
+    result = record(run_once(benchmark, run_ablation_coherence_modes, effort=effort))
+    mesi = result.row(mode="MESI (default)")
+    pso = result.row(mode="PSO relaxation")
+    weak = result.row(mode="weak ordering")
+    # Weak ordering: only the boundary exchange, and the fastest run.
+    assert weak["messages"] < min(mesi["messages"], pso["messages"]) / 10
+    assert weak["time_s"] <= mesi["time_s"]
+    assert weak["time_s"] <= pso["time_s"]
+    # PSO keeps demoted copies around, so fewer pages move overall.
+    assert pso["invalidations"] <= mesi["invalidations"]

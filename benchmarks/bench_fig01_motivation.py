@@ -1,0 +1,30 @@
+"""Figure 1: the benefits of DDCs (1a) and the cost of scaling (1b)."""
+
+from conftest import run_once
+
+from repro.bench.figures_db import run_fig01a_motivation, run_fig01b_cost_of_scaling
+
+
+def test_fig01a_ddc_benefits(benchmark, effort, record):
+    """Figure 1a (paper: base DDC 9.3x, TELEPORT 39.5x over NVMe spill)."""
+    result = record(run_once(benchmark, run_fig01a_motivation, effort=effort))
+    ddc = result.row(system="Base DDC")["speedup"]
+    teleport = result.row(system="TELEPORT")["speedup"]
+    # Shape: remote memory beats SSD spill; TELEPORT multiplies the win.
+    assert ddc > 2
+    assert teleport > 2.5 * ddc
+
+
+def test_fig01b_cost_of_scaling(benchmark, effort, record):
+    """Figure 1b (paper: SparkSQL 1.2x, Vertica 2.3x, base DDC 5.4x,
+    TELEPORT 1.8x)."""
+    result = record(run_once(benchmark, run_fig01b_cost_of_scaling, effort=effort))
+    spark = result.row(system="SparkSQL")["cost_of_scaling"]
+    vertica = result.row(system="Vertica")["cost_of_scaling"]
+    ddc = result.row(system="MonetDB (Base DDC)")["cost_of_scaling"]
+    teleport = result.row(system="MonetDB (TELEPORT)")["cost_of_scaling"]
+    # Shape: unmodified DDC execution scales worst; TELEPORT brings the
+    # DDC cost into (below) the distributed-DBMS band.
+    assert 1.0 < spark < vertica < ddc
+    assert teleport < vertica
+    assert teleport < ddc / 2

@@ -1,0 +1,20 @@
+"""Figure 3: DDC performance overhead vs a monolithic server."""
+
+from conftest import run_once
+
+from repro.bench.figures_systems import run_fig03_ddc_overhead
+
+
+def test_fig03_overheads(benchmark, effort, record):
+    """Paper: slowdowns from 5x up to 52.4x across the eight workloads."""
+    result = record(run_once(benchmark, run_fig03_ddc_overhead, effort=effort))
+    slowdowns = result.series("slowdown")
+    # Every workload pays a disaggregation cost; the worst are an order
+    # of magnitude or more.
+    assert all(s > 1.0 for s in slowdowns)
+    assert max(slowdowns) > 10
+    # The DBMS's most expensive query is hit much harder than its
+    # scan-dominated one (Q9 vs Q6 in the paper's Figure 3).
+    q9 = result.row(workload="Q9")["slowdown"]
+    q6 = result.row(workload="Q6")["slowdown"]
+    assert q9 > q6

@@ -1,0 +1,27 @@
+"""Figure 6: data-synchronisation ablation on the two-thread workload."""
+
+from conftest import run_once
+
+from repro.bench.figures_micro import run_fig06_sync_ablation
+
+
+def test_fig06_sync_ablation(benchmark, effort, record):
+    """Paper speedups over base DDC: full-process 2.9x, per-thread 3.8x,
+    on-demand coherence 11x."""
+    result = record(run_once(benchmark, run_fig06_sync_ablation, effort=effort))
+
+    def speedup(system):
+        return result.row(system=system)["speedup_vs_base_ddc"]
+
+    base = speedup("Base DDC")
+    per_process = speedup("TELEPORT (per process)")
+    per_thread = speedup("TELEPORT (per thread)")
+    coherence = speedup("TELEPORT (coherence)")
+    local = speedup("Local execution")
+
+    assert base == 1.0
+    # Every pushdown variant beats the baseline DDC...
+    assert per_process > 1.5
+    # ...and the paper's ordering holds: naive full-process migration <
+    # per-thread eager eviction < on-demand coherence < local execution.
+    assert per_process < per_thread < coherence <= local

@@ -1,0 +1,32 @@
+"""Figure 10: per-operator/phase breakdown of the worst query per system."""
+
+from conftest import run_once
+
+from repro.bench.figures_systems import run_fig10_breakdown
+
+
+def test_fig10_breakdown(benchmark, effort, record):
+    """Paper: one or two components dominate each system's DDC time —
+    hash join for Q9, finalize/scatter for SSSP, map-shuffle for WC."""
+    result = record(run_once(benchmark, run_fig10_breakdown, effort=effort))
+
+    def ddc_s(system, component):
+        return result.row(system=system, component=component)["ddc_s"]
+
+    # Q9: the hash join dominates and degrades far more than merge join.
+    assert ddc_s("DBMS/Q9", "hashjoin") > ddc_s("DBMS/Q9", "mergejoin")
+    assert ddc_s("DBMS/Q9", "hashjoin") > ddc_s("DBMS/Q9", "expression")
+
+    # SSSP: finalize and scatter carry the cost; gather/apply are minor.
+    assert ddc_s("Graph/SSSP", "finalize") > ddc_s("Graph/SSSP", "apply")
+    assert ddc_s("Graph/SSSP", "scatter") > ddc_s("Graph/SSSP", "gather")
+
+    # WordCount: map-shuffle is the overwhelming share of map time.
+    shuffle = ddc_s("MapReduce/WC", "map_shuffle")
+    compute = ddc_s("MapReduce/WC", "map_compute")
+    assert shuffle / (shuffle + compute) > 0.8
+
+    # The dominating components also dominate remote traffic.
+    q9_rows = [row for row in result.rows if row["system"] == "DBMS/Q9"]
+    heaviest = max(q9_rows, key=lambda row: row["ddc_remote_mb"])
+    assert heaviest["component"] == "hashjoin"

@@ -1,0 +1,18 @@
+"""Figure 11: size of the pushed-down code per operator."""
+
+from conftest import run_once
+
+from repro.bench.figures_systems import run_fig11_code_table
+
+
+def test_fig11_pushed_code_is_small(benchmark, effort, record):
+    """Paper: every pushdown function is under 100 lines of code; the
+    same property holds for this reproduction's pushdown bodies."""
+    result = record(run_once(benchmark, run_fig11_code_table, effort=effort))
+    assert len(result.rows) >= 7
+    for row in result.rows:
+        assert 0 < row["pushed_loc"] <= 100, (
+            f"{row['system']}/{row['operator']} pushes {row['pushed_loc']} LoC"
+        )
+    systems = {row["system"] for row in result.rows}
+    assert systems == {"DBMS", "Graph", "MapReduce"}

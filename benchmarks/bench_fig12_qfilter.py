@@ -1,0 +1,24 @@
+"""Figure 12: pushing Q_filter's operators to the memory pool."""
+
+from conftest import run_once
+
+from repro.bench.figures_db import run_fig12_qfilter
+
+
+def test_fig12_qfilter_operators(benchmark, effort, record):
+    """Paper: TELEPORT beats the base DDC by 2.1-5.5x per operator, with
+    projection improving the most; TELEPORT stays within ~2x of local."""
+    result = record(run_once(benchmark, run_fig12_qfilter, effort=effort))
+    assert {row["operator"] for row in result.rows} == {
+        "selection", "projection", "aggregation",
+    }
+    for row in result.rows:
+        # Base DDC pays a real cost over local...
+        assert row["base_ddc_s"] > 1.5 * row["local_s"]
+        # ...which pushdown substantially recovers.
+        assert row["speedup"] > 1.5
+        assert row["teleport_s"] < 2.5 * row["local_s"]
+    projection = result.row(operator="projection")["speedup"]
+    aggregation = result.row(operator="aggregation")["speedup"]
+    # The improvement is most visible for projection (Section 7.1).
+    assert projection > aggregation

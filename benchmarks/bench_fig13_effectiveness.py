@@ -1,0 +1,22 @@
+"""Figure 13: TELEPORT across all eight data-intensive workloads."""
+
+from conftest import run_once
+
+from repro.bench.figures_systems import WORKLOADS, run_fig13_effectiveness
+
+
+def test_fig13_effectiveness(benchmark, effort, record):
+    """Paper: TELEPORT speeds up every workload over the base DDC (2x to
+    29.1x) and lands close to local execution."""
+    result = record(run_once(benchmark, run_fig13_effectiveness, effort=effort))
+    assert [row["workload"] for row in result.rows] == list(WORKLOADS)
+    for row in result.rows:
+        # TELEPORT never loses to the base DDC...
+        assert row["speedup"] >= 1.0, row
+        # ...and stays within a small factor of local execution (the
+        # paper's TELEPORT runs land 2-4x from local).
+        assert row["teleport_over_local"] < 4.0, row
+    # The order-of-magnitude headline holds for the worst-hit workloads.
+    assert max(result.series("speedup")) > 8
+    # Q9, the paper's most expensive query, sees a large improvement.
+    assert result.row(workload="Q9")["speedup"] > 3

@@ -1,0 +1,17 @@
+"""Figure 14: disaggregated memory vs spilling to a local NVMe SSD."""
+
+from conftest import run_once
+
+from repro.bench.figures_db import run_fig14_vs_ssd
+
+
+def test_fig14_remote_memory_beats_ssd(benchmark, effort, record):
+    """Paper: base DDC is 10-80x faster than Linux+SSD; TELEPORT raises
+    that to two orders of magnitude (210-330x)."""
+    result = record(run_once(benchmark, run_fig14_vs_ssd, effort=effort))
+    for row in result.rows:
+        assert row["ddc_speedup"] > 2, row
+        assert row["teleport_speedup"] > 2 * row["ddc_speedup"], row
+    # Q9 gains the most from TELEPORT (join-heavy random access).
+    q9 = result.row(query="Q9")["teleport_speedup"]
+    assert q9 == max(result.series("teleport_speedup"))

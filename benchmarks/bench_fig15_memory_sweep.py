@@ -1,0 +1,29 @@
+"""Figure 15: performance vs total memory size for a large working set."""
+
+from conftest import run_once
+
+from repro.bench.figures_db import run_fig15_memory_sweep
+
+
+def test_fig15_memory_sweep(benchmark, effort, record):
+    """Paper: with little memory everyone spills and suffers; as memory
+    grows, the base DDC's disaggregation cost starts to dominate while
+    TELEPORT tracks Linux — and keeps scaling past the point where a
+    single server cannot hold the memory (Linux N/A)."""
+    result = record(run_once(benchmark, run_fig15_memory_sweep, effort=effort))
+    first, *_middle, last = result.rows
+
+    # Smallest memory: everyone is storage-bound and slow.
+    assert first["base_ddc_s"] > last["base_ddc_s"]
+    assert first["teleport_s"] > last["teleport_s"]
+
+    # Once memory is ample, the base DDC pays a visible disaggregation
+    # cost over TELEPORT.
+    assert last["base_ddc_s"] > 2 * last["teleport_s"]
+
+    # TELEPORT tracks Linux at sizes Linux can reach...
+    for row in result.rows:
+        if row["linux_s"] is not None and row is not first:
+            assert row["teleport_s"] < 2.5 * row["linux_s"]
+    # ...and the largest size is beyond the monolithic server (N/A).
+    assert last["linux_s"] is None

@@ -1,0 +1,23 @@
+"""Figure 16: pushdown performance vs memory-pool compute power."""
+
+from conftest import run_once
+
+from repro.bench.figures_db import run_fig16_clock_sweep
+
+
+def test_fig16_clock_sweep(benchmark, effort, record):
+    """Paper: even a 0.4 GHz memory pool gives a 17x speedup; gains level
+    off above 1.7 GHz (29x) — no need to match the fastest CPU."""
+    result = record(run_once(benchmark, run_fig16_clock_sweep, effort=effort))
+    speedups = result.series("speedup_vs_base_ddc")
+    clocks = result.series("clock_ghz")
+    assert clocks == sorted(clocks)
+    # Speedup is substantial even at the slowest clock...
+    assert speedups[0] > 2
+    # ...monotonically non-decreasing with clock speed...
+    for slower, faster in zip(speedups, speedups[1:]):
+        assert faster >= slower * 0.99
+    # ...and levels off: the last step adds far less than the first.
+    first_gain = speedups[1] - speedups[0]
+    last_gain = speedups[-1] - speedups[-2]
+    assert last_gain <= first_gain + 1e-9

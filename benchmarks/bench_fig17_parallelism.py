@@ -1,0 +1,21 @@
+"""Figure 17: parallel processing of concurrent pushdown requests."""
+
+from conftest import run_once
+
+from repro.bench.figures_micro import run_fig17_parallelism
+
+
+def test_fig17_parallel_contexts(benchmark, effort, record):
+    """Paper: more user contexts speed up 8 concurrent pushdowns, with
+    diminishing returns once contexts outnumber the 2 physical cores."""
+    result = record(run_once(benchmark, run_fig17_parallelism, effort=effort))
+    speedups = dict(
+        zip(result.series("user_contexts"), result.series("speedup_vs_single"))
+    )
+    assert speedups[1] == 1.0
+    assert speedups[2] > 1.4
+    # Monotone improvement (requests keep draining faster)...
+    assert speedups[3] >= speedups[2] * 0.95
+    assert speedups[4] >= speedups[3] * 0.95
+    # ...but with diminishing returns beyond the physical cores.
+    assert speedups[4] - speedups[3] < speedups[2] - speedups[1]

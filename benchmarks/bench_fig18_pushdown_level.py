@@ -1,0 +1,34 @@
+"""Figure 18: sweeping the level of pushdown under a throttled memory pool."""
+
+from conftest import run_once
+
+from repro.bench.figures_db import run_fig18_intensity_profile, run_fig18_pushdown_level
+
+
+def test_fig18_pushdown_level(benchmark, effort, record):
+    """Paper: pushing the most memory-intense operators helps enormously
+    (top-4: 27x), but being too aggressive backfires slightly when the
+    memory pool's CPU is weak (all: 24x)."""
+    result = record(run_once(benchmark, run_fig18_pushdown_level, effort=effort))
+    for throttle in {row["throttle"] for row in result.rows}:
+        rows = {
+            row["level"]: row["speedup_vs_none"]
+            for row in result.rows
+            if row["throttle"] == throttle
+        }
+        assert rows["none"] == 1.0
+        # Pushing the most intense kind already pays off substantially.
+        assert rows["top 1"] > 2
+        assert rows["top 4"] > rows["top 1"]
+        # Beyond the sweet spot, gains stop (and slightly reverse):
+        # pushing *everything* is never better than the best partial level.
+        best_partial = max(rows["top 1"], rows["top 4"], rows["top 6"])
+        assert rows["all"] <= best_partial + 1e-9
+
+
+def test_fig18_intensity_ranking(benchmark, effort, record):
+    """Companion: the profiled memory-intensity ranking is well formed."""
+    result = record(run_once(benchmark, run_fig18_intensity_profile, effort=effort))
+    intensities = result.series("intensity")
+    assert intensities == sorted(intensities, reverse=True)
+    assert intensities[0] > 0

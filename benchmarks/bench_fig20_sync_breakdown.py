@@ -1,0 +1,35 @@
+"""Figures 19/20: the component breakdown of a pushdown call."""
+
+from conftest import run_once
+
+from repro.bench.figures_micro import run_fig20_sync_breakdown
+
+
+def test_fig20_sync_breakdown(benchmark, effort, record):
+    """Paper: on-demand sync is an order of magnitude cheaper per call
+    than the eager strawman (0.3s vs 3.5s), at the cost of extra context
+    setup work (page-table-entry checking)."""
+    result = record(run_once(benchmark, run_fig20_sync_breakdown, effort=effort))
+
+    def total(method):
+        return sum(
+            row["time_ms"] for row in result.rows if row["method"] == method
+        )
+
+    def component(method, name):
+        return result.row(method=method, component=name)["time_ms"]
+
+    # Order of magnitude between methods.
+    assert total("eager") > 5 * total("on-demand")
+    # Eager pays in pre/post sync (flush everything, refetch everything).
+    assert component("eager", "1 pre-pushdown sync") > 0
+    assert component("eager", "6 post-pushdown sync") > component(
+        "eager", "2 request transfer"
+    )
+    # On-demand transfers nothing up front or afterwards...
+    assert component("on-demand", "1 pre-pushdown sync") == 0
+    assert component("on-demand", "6 post-pushdown sync") == 0
+    # ...but pays more in context setup (Figure 20's yellow region).
+    assert component("on-demand", "3 context setup") > component(
+        "eager", "3 context setup"
+    )

@@ -1,0 +1,28 @@
+"""Figure 21: application performance under shared-write contention."""
+
+from conftest import run_once
+
+from repro.bench.figures_micro import run_fig21_contention
+
+
+def test_fig21_contention(benchmark, effort, record):
+    """Paper: local and base-DDC times are flat in contention; TELEPORT's
+    default protocol degrades gracefully at high contention; the relaxed
+    protocol stays flat."""
+    result = record(run_once(benchmark, run_fig21_contention, effort=effort))
+    rates = result.series("contention_rate")
+    assert rates == sorted(rates)
+    first, last = result.rows[0], result.rows[-1]
+
+    # Flat lines: local, base DDC, and the relaxation.
+    assert last["local_s"] < first["local_s"] * 1.05
+    assert last["base_ddc_s"] < first["base_ddc_s"] * 1.05
+    assert last["teleport_relaxed_s"] < first["teleport_relaxed_s"] * 1.05
+
+    # The default protocol pays for contention, but moderately.
+    assert last["teleport_default_s"] > first["teleport_default_s"]
+    assert last["teleport_default_s"] < 3 * first["teleport_default_s"]
+
+    # Even at the highest contention, TELEPORT remains far faster than
+    # the base DDC.
+    assert last["teleport_default_s"] < last["base_ddc_s"] / 2

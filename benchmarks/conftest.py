@@ -1,0 +1,43 @@
+"""Shared fixtures for the per-figure benchmark suite.
+
+Every ``bench_figNN_*.py`` runs one figure's experiment through
+pytest-benchmark, asserts the paper's qualitative shape (who wins, which
+way the trend bends), prints the reproduced table, and archives it under
+``benchmarks/results/`` for EXPERIMENTS.md.
+
+Set ``REPRO_EFFORT=full`` for larger workloads (closer to the paper's
+scales, minutes instead of seconds).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def effort():
+    return os.environ.get("REPRO_EFFORT", "quick")
+
+
+@pytest.fixture
+def record():
+    """Print a FigureResult and archive it under benchmarks/results/."""
+
+    def _record(result):
+        table = result.format_table()
+        print()
+        print(table)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.figure}.txt"
+        path.write_text(table + "\n")
+        return result
+
+    return _record
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run a figure experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

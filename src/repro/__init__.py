@@ -1,0 +1,24 @@
+"""TELEPORT reproduction: compute pushdown for disaggregated data centers.
+
+A deterministic simulation of the system described in "Optimizing
+Data-intensive Systems in Disaggregated Data Centers with TELEPORT"
+(Zhang et al., SIGMOD 2022), together with the data-intensive systems the
+paper evaluates — a columnar DBMS (with a SQL frontend and TPC-H), a GAS
+graph engine, and a Phoenix-style MapReduce — and a benchmark harness
+regenerating every figure of the paper's evaluation.
+
+Typical entry points::
+
+    from repro import make_platform, scaled_config
+    from repro.db import QueryExecutor
+    from repro.db.sql import execute_sql
+
+See README.md for a quickstart and DESIGN.md for the architecture.
+"""
+
+from repro.ddc import make_platform
+from repro.sim.config import DdcConfig, scaled_config
+
+__version__ = "1.0.0"
+
+__all__ = ["DdcConfig", "__version__", "make_platform", "scaled_config"]

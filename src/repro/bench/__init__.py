@@ -1,0 +1,18 @@
+"""The benchmark harness: one runner per table/figure of the paper.
+
+Each ``run_figNN_*`` function reproduces one evaluation artefact and
+returns a :class:`~repro.bench.results.FigureResult` whose rows mirror the
+paper's bars/series. Runners accept an ``effort`` preset ("quick" for CI /
+pytest-benchmark, "full" for larger, closer-to-paper workloads).
+
+Run everything from the command line::
+
+    python -m repro.bench list
+    python -m repro.bench fig13 --effort quick
+    python -m repro.bench all
+"""
+
+from repro.bench.registry import FIGURES, run_figure
+from repro.bench.results import FigureResult
+
+__all__ = ["FIGURES", "FigureResult", "run_figure"]

@@ -1,0 +1,51 @@
+"""Command-line entry point for the benchmark harness.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench fig13
+    python -m repro.bench fig06 fig07 --effort full
+    python -m repro.bench all --effort quick
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench.registry import FIGURES, run_figure
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="+",
+        help="figure ids (e.g. fig13), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--effort",
+        choices=("quick", "full"),
+        default="quick",
+        help="workload sizing preset (default: quick)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.figures == ["list"]:
+        for figure_id in sorted(FIGURES):
+            print(f"{figure_id:14s} {FIGURES[figure_id].__doc__.splitlines()[0]}")
+        return 0
+
+    targets = sorted(FIGURES) if args.figures == ["all"] else args.figures
+    for figure_id in targets:
+        started = time.time()
+        result = run_figure(figure_id, effort=args.effort)
+        print(result.format_table())
+        print(f"[{figure_id} completed in {time.time() - started:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

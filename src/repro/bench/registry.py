@@ -1,0 +1,67 @@
+"""Registry mapping figure ids to their runners."""
+
+from repro.bench.ablations import (
+    run_ablation_coherence_modes,
+    run_ablation_prefetch,
+    run_ablation_rle,
+)
+from repro.bench.figures_db import (
+    run_fig01a_motivation,
+    run_fig01b_cost_of_scaling,
+    run_fig12_qfilter,
+    run_fig14_vs_ssd,
+    run_fig15_memory_sweep,
+    run_fig16_clock_sweep,
+    run_fig18_intensity_profile,
+    run_fig18_pushdown_level,
+)
+from repro.bench.figures_micro import (
+    run_fig06_sync_ablation,
+    run_fig07_false_sharing,
+    run_fig17_parallelism,
+    run_fig20_sync_breakdown,
+    run_fig21_contention,
+    run_fig22_messages,
+)
+from repro.bench.figures_systems import (
+    run_fig03_ddc_overhead,
+    run_fig10_breakdown,
+    run_fig11_code_table,
+    run_fig13_effectiveness,
+)
+from repro.errors import ReproError
+
+FIGURES = {
+    "fig01a": run_fig01a_motivation,
+    "fig01b": run_fig01b_cost_of_scaling,
+    "fig03": run_fig03_ddc_overhead,
+    "fig06": run_fig06_sync_ablation,
+    "fig07": run_fig07_false_sharing,
+    "fig10": run_fig10_breakdown,
+    "fig11": run_fig11_code_table,
+    "fig12": run_fig12_qfilter,
+    "fig13": run_fig13_effectiveness,
+    "fig14": run_fig14_vs_ssd,
+    "fig15": run_fig15_memory_sweep,
+    "fig16": run_fig16_clock_sweep,
+    "fig17": run_fig17_parallelism,
+    "fig18": run_fig18_pushdown_level,
+    "fig18-profile": run_fig18_intensity_profile,
+    "fig20": run_fig20_sync_breakdown,
+    "fig21": run_fig21_contention,
+    "fig22": run_fig22_messages,
+    "ablation-prefetch": run_ablation_prefetch,
+    "ablation-rle": run_ablation_rle,
+    "ablation-coherence": run_ablation_coherence_modes,
+}
+
+
+def run_figure(figure_id, effort="quick"):
+    """Run one figure's experiment by id (e.g. 'fig13')."""
+    try:
+        runner = FIGURES[figure_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown figure {figure_id!r}; known: {', '.join(sorted(FIGURES))}"
+        ) from None
+    return runner(effort=effort)

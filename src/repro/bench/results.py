@@ -1,0 +1,78 @@
+"""Figure result containers and table formatting."""
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+@dataclass
+class FigureResult:
+    """The reproduced data behind one of the paper's figures."""
+
+    figure: str
+    title: str
+    columns: list
+    rows: list = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **row):
+        """Append a row; keys must match the declared columns."""
+        missing = [column for column in self.columns if column not in row]
+        if missing:
+            raise ReproError(f"{self.figure}: row missing columns {missing}")
+        self.rows.append(row)
+
+    def series(self, column):
+        """All values of one column, in row order."""
+        if column not in self.columns:
+            raise ReproError(f"{self.figure} has no column {column!r}")
+        return [row[column] for row in self.rows]
+
+    def row(self, **match):
+        """First row whose fields equal ``match``."""
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in match.items()):
+                return row
+        raise ReproError(f"{self.figure}: no row matching {match}")
+
+    def format_table(self):
+        """Render as an aligned text table (what the bench prints)."""
+        header = [str(column) for column in self.columns]
+        body = [[_fmt(row[column]) for column in self.columns] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.figure}: {self.title} =="]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for line in body:
+            lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(line))))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+def _fmt(value):
+    if value is None:
+        return "N/A"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def geomean(values):
+    """Geometric mean (the right average for speedups)."""
+    values = [value for value in values if value is not None]
+    if not values:
+        raise ReproError("geomean of no values")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ReproError(f"geomean requires positive values, got {value}")
+        product *= value
+    return product ** (1.0 / len(values))

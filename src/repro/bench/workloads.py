@@ -1,0 +1,90 @@
+"""Shared workload setup for the figure runners."""
+
+from dataclasses import dataclass
+
+from repro.db import QueryExecutor
+from repro.db.tpch import build_q1, build_q3, build_q6, build_q9, build_qfilter, generate
+from repro.ddc import make_platform
+from repro.errors import ReproError
+from repro.sim.config import scaled_config
+
+#: Operator kinds the TPC-H TELEPORT runs push down — the paper's
+#: "subset of the most bandwidth-intensive operators" (Section 7.1).
+TPCH_PUSHDOWN = ("selection", "projection", "hashjoin", "aggregation", "group")
+
+#: Per-effort sizing of the workloads.
+EFFORT = {
+    "quick": {
+        "tpch_sf": 6.0,
+        "tpch_sf_large": 12.0,
+        "graph_vertices": 4_000,
+        "graph_degree": 10,
+        "corpus_tokens": 400_000,
+        # Keep the paper's access:space ratio (~0.4 accesses per page of
+        # the space): random accesses touch only a fraction of the cached
+        # pages, which is what makes on-demand coherence beat eager
+        # eviction (Figure 6).
+        "micro_space_mib": 192,
+        "micro_accesses": 20_000,
+    },
+    "full": {
+        "tpch_sf": 50.0,
+        "tpch_sf_large": 200.0,
+        "graph_vertices": 40_000,
+        "graph_degree": 16,
+        "corpus_tokens": 4_000_000,
+        "micro_space_mib": 768,
+        "micro_accesses": 80_000,
+    },
+}
+
+QUERY_BUILDERS = {
+    "Q1": build_q1,
+    "Q3": build_q3,
+    "Q6": build_q6,
+    "Q9": build_q9,
+    "Qfilter": build_qfilter,
+}
+
+
+def effort_params(effort):
+    try:
+        return EFFORT[effort]
+    except KeyError:
+        raise ReproError(f"unknown effort {effort!r}; expected one of {sorted(EFFORT)}") from None
+
+
+@dataclass
+class TpchRun:
+    """One platform loaded with a TPC-H dataset, ready to execute."""
+
+    kind: str
+    platform: object
+    tables: dict
+    ctx: object
+    executor: QueryExecutor
+
+    def run(self, query, **kwargs):
+        plan = QUERY_BUILDERS[query](self.tables, **kwargs)
+        return self.executor.execute(plan)
+
+
+def tpch_run(dataset, kind, cache_ratio=0.02, pushdown=None, config_overrides=None):
+    """Load the dataset into a fresh platform of the given kind."""
+    config = scaled_config(dataset.nbytes, cache_ratio=cache_ratio)
+    if config_overrides:
+        config = config.with_overrides(**config_overrides)
+    platform = make_platform(kind, config)
+    process = platform.new_process()
+    tables = dataset.load_into(process)
+    ctx = platform.main_context(process)
+    if pushdown is None and kind == "teleport":
+        pushdown = TPCH_PUSHDOWN
+    executor = QueryExecutor(ctx, pushdown=pushdown if kind == "teleport" else None)
+    return TpchRun(kind, platform, tables, ctx, executor)
+
+
+def tpch_dataset(effort, large=False, seed=2022):
+    params = effort_params(effort)
+    sf = params["tpch_sf_large"] if large else params["tpch_sf"]
+    return generate(scale_factor=sf, seed=seed)

@@ -1,0 +1,83 @@
+"""Catalog statistics.
+
+Lightweight per-column statistics gathered at load time (as any DBMS
+does): row counts, min/max, and a distinct-count estimate. Consumers:
+the SQL compiler packs multi-column GROUP BY keys using column ranges,
+and the cost-based optimizer can size hash structures from distincts.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics of one column."""
+
+    name: str
+    count: int
+    minimum: float
+    maximum: float
+    distinct: int
+
+    @property
+    def width(self):
+        """Size of the value range (for integer key packing)."""
+        return int(self.maximum) - int(self.minimum) + 1 if self.count else 1
+
+
+class TableStats:
+    """Statistics of one table, computed lazily per column and cached."""
+
+    #: Columns longer than this are sampled for the distinct estimate.
+    SAMPLE_LIMIT = 100_000
+
+    def __init__(self, table):
+        self.table = table
+        self._columns = {}
+
+    def column(self, name):
+        """Statistics for one column (computed on first request)."""
+        cached = self._columns.get(name)
+        if cached is not None:
+            return cached
+        if name not in self.table:
+            raise ReproError(
+                f"table {self.table.name!r} has no column {name!r}"
+            )
+        values = self.table[name].region.array
+        count = len(values)
+        if count == 0:
+            stats = ColumnStats(name, 0, 0.0, 0.0, 0)
+        else:
+            if count > self.SAMPLE_LIMIT:
+                stride = count // self.SAMPLE_LIMIT + 1
+                sample = values[::stride]
+                distinct = int(len(np.unique(sample)) * count / len(sample))
+                distinct = min(distinct, count)
+            else:
+                distinct = int(len(np.unique(values)))
+            stats = ColumnStats(
+                name=name,
+                count=count,
+                minimum=float(values.min()),
+                maximum=float(values.max()),
+                distinct=distinct,
+            )
+        self._columns[name] = stats
+        return stats
+
+    def __repr__(self):
+        return f"TableStats({self.table.name!r}, {len(self._columns)} cached)"
+
+
+def stats_for(table):
+    """The (cached) statistics object of a table."""
+    existing = getattr(table, "_stats", None)
+    if existing is None:
+        existing = TableStats(table)
+        table._stats = existing
+    return existing

@@ -1,0 +1,40 @@
+"""Aggregation over a vector: SUM, COUNT, MIN, MAX, AVG.
+
+The result is a scalar — "the result set is typically much smaller than
+the input" (Section 5.1), which is what makes aggregation a prime pushdown
+candidate: the whole input stays in the memory pool and only the scalar
+crosses the fabric.
+"""
+
+import numpy as np
+
+from repro.db.operators.base import Operator, read_source
+from repro.errors import ReproError
+
+_FUNCS = {
+    "sum": np.sum,
+    "count": len,
+    "min": np.min,
+    "max": np.max,
+    "avg": np.mean,
+}
+
+
+class Aggregate(Operator):
+    kind = "aggregation"
+
+    def __init__(self, source, func, out, candidates=None):
+        if func not in _FUNCS:
+            raise ReproError(f"unknown aggregate {func!r}; expected one of {sorted(_FUNCS)}")
+        super().__init__(out=out, label=f"aggregation:{out}")
+        self.source = source
+        self.func = func
+        self.candidates = candidates
+
+    def run(self, ctx, env):
+        values, _positions = read_source(ctx, env, self.source, self.candidates)
+        ctx.compute(len(values) * 2)
+        if len(values) == 0 and self.func in ("min", "max", "avg"):
+            return None
+        result = _FUNCS[self.func](values)
+        return float(result) if self.func != "count" else int(result)

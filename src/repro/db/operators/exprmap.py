@@ -1,0 +1,32 @@
+"""Expression evaluation: compute a derived column from input vectors.
+
+The compute-heavy operator of the mix (e.g. Q9's profit expression).
+Sequential reads, heavy ALU work, sequential write of the result — which
+is why expressions degrade least under disaggregation (Figure 10 shows
+Express. as a non-blocker).
+"""
+
+from repro.db.operators.base import Operator, materialize, resolve
+
+
+class ExpressionMap(Operator):
+    kind = "expression"
+
+    def __init__(self, inputs, expr, out):
+        """``inputs`` maps expression column names to env keys of vectors."""
+        super().__init__(out=out, label=f"expression:{out}")
+        self.inputs = dict(inputs)
+        self.expr = expr
+
+    def run(self, ctx, env):
+        arrays = {}
+        rows = 0
+        for name, key in sorted(self.inputs.items()):
+            vector = resolve(env, key)
+            arrays[name] = vector.read(ctx)
+            rows = max(rows, len(vector))
+        # Expressions are the arithmetic-heavy operators: charge extra ALU
+        # work per row beyond the tree size.
+        ctx.compute(rows * (self.expr.ops_per_row() + 4))
+        values = self.expr.evaluate(arrays)
+        return materialize(ctx, self.out, values)

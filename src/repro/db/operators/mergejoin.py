@@ -1,0 +1,52 @@
+"""Merge join over sorted inputs.
+
+Sequential access on both inputs — the DDC-friendly join. Q9 uses it for
+one of its joins (Figure 10 shows MergeJoin degrading far less than
+HashJoin under disaggregation).
+"""
+
+import numpy as np
+
+from repro.db.operators.base import JoinResult, Operator, materialize, resolve
+from repro.errors import ReproError
+
+
+class MergeJoin(Operator):
+    kind = "mergejoin"
+
+    def __init__(self, left, right, out):
+        super().__init__(out=out, label=f"mergejoin:{out}")
+        self.left = left
+        self.right = right
+
+    def run(self, ctx, env):
+        left_vec = resolve(env, self.left)
+        right_vec = resolve(env, self.right)
+        left_keys = np.asarray(left_vec.read(ctx))
+        right_keys = np.asarray(right_vec.read(ctx))
+        if _unsorted(left_keys) or _unsorted(right_keys):
+            raise ReproError(f"{self.label}: merge join inputs must be sorted")
+        if len(left_keys) and len(np.unique(left_keys)) != len(left_keys):
+            raise ReproError(f"{self.label}: left side must have unique keys")
+        ctx.compute((len(left_keys) + len(right_keys)) * 2)
+        left_pos, right_pos = _merge(left_keys, right_keys)
+        return JoinResult(
+            build=materialize(ctx, f"{self.out}.build", left_pos),
+            probe=materialize(ctx, f"{self.out}.probe", right_pos),
+        )
+
+
+def _unsorted(keys):
+    return len(keys) > 1 and bool((np.diff(keys) < 0).any())
+
+
+def _merge(left_keys, right_keys):
+    if len(left_keys) == 0 or len(right_keys) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    pos = np.searchsorted(left_keys, right_keys)
+    pos_clamped = np.minimum(pos, len(left_keys) - 1)
+    matched = left_keys[pos_clamped] == right_keys
+    right_pos = np.nonzero(matched)[0].astype(np.int64)
+    left_pos = pos_clamped[matched].astype(np.int64)
+    return left_pos, right_pos

@@ -1,0 +1,23 @@
+"""Projection: gather a column's values at candidate positions.
+
+In MonetDB terms this is the positional fetch-join that materialises an
+attribute for a candidate list. When the candidate list is sparse, the
+gathers are random accesses over the base column — which is why projection
+has the highest memory intensity of Q9's operators (Figure 10).
+"""
+
+from repro.db.operators.base import Operator, materialize, read_source
+
+
+class Projection(Operator):
+    kind = "projection"
+
+    def __init__(self, source, out, candidates=None):
+        super().__init__(out=out, label=f"projection:{out}")
+        self.source = source
+        self.candidates = candidates
+
+    def run(self, ctx, env):
+        values, _positions = read_source(ctx, env, self.source, self.candidates)
+        ctx.compute(len(values))
+        return materialize(ctx, self.out, values)

@@ -1,0 +1,42 @@
+"""Selection: scan, apply a filter, materialise matching positions.
+
+Mirrors MonetDB's selection (Section 2.3 of the paper): inputs are a
+table, a filter expression and an optional candidate list from previous
+selections; output is a candidate list (row positions) materialised to a
+temporary vector.
+"""
+
+import numpy as np
+
+from repro.db.operators.base import Operator, materialize, resolve
+
+
+class Selection(Operator):
+    kind = "selection"
+
+    def __init__(self, table, predicate, out, candidates=None):
+        super().__init__(out=out, label=f"selection:{out}")
+        self.table = table
+        self.predicate = predicate
+        self.candidates = candidates
+
+    def run(self, ctx, env):
+        table = resolve(env, self.table)
+        positions = None
+        if self.candidates is not None:
+            positions = resolve(env, self.candidates).read(ctx)
+        arrays = {}
+        rows = table.nrows if positions is None else len(positions)
+        for name in sorted(self.predicate.columns()):
+            column = table[name]
+            if positions is None:
+                arrays[name] = column.read(ctx)
+            else:
+                arrays[name] = column.gather(ctx, positions)
+        ctx.compute(rows * self.predicate.ops_per_row())
+        mask = np.asarray(self.predicate.evaluate(arrays), dtype=bool)
+        matched = np.nonzero(mask)[0]
+        if positions is not None:
+            matched = positions[matched]
+        ctx.compute(len(matched))
+        return materialize(ctx, f"{self.out}", matched.astype(np.int64))

@@ -1,0 +1,35 @@
+"""A SQL frontend for the columnar DBMS.
+
+Compiles a practical SQL subset into the physical plans that the executor
+(and TELEPORT pushdown) already run::
+
+    from repro.db.sql import compile_sql, execute_sql
+
+    plan, output = compile_sql(
+        "SELECT SUM(quantity) AS total FROM lineitem WHERE shipdate < 1500",
+        tables,
+    )
+    result = execute_sql(executor, "SELECT ...", tables)
+
+Supported:
+
+* ``SELECT`` lists of expressions and aggregates (``SUM/COUNT/MIN/MAX/AVG``)
+  with ``AS`` aliases;
+* ``FROM`` one table plus any number of ``JOIN ... ON a.x = b.y``
+  equality joins (foreign-key joins: the joined table's key must be
+  unique, as in the star/snowflake queries of TPC-H);
+* ``WHERE`` conjunctions/disjunctions of arithmetic comparisons, each
+  conjunct referencing a single table (they become per-table selections);
+* ``GROUP BY`` one or more columns/expressions (packed into a composite
+  key using catalog statistics);
+* ``ORDER BY <alias> [ASC|DESC] LIMIT n`` over one aggregate output.
+
+Unsupported constructs raise :class:`~repro.db.sql.errors.SqlError` with a
+pointed message rather than computing something silently wrong.
+"""
+
+from repro.db.sql.compiler import compile_sql, execute_sql
+from repro.db.sql.errors import SqlError
+from repro.db.sql.parser import parse
+
+__all__ = ["SqlError", "compile_sql", "execute_sql", "parse"]

@@ -1,0 +1,99 @@
+"""Abstract syntax of the supported SQL subset."""
+
+from dataclasses import dataclass
+
+#: Recognised aggregate function names.
+AGGREGATES = ("SUM", "COUNT", "MIN", "MAX", "AVG")
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``table.column`` or bare ``column``."""
+
+    column: str
+    table: str = None
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: float
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Arithmetic, comparison, or boolean connective."""
+
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class NotOp:
+    operand: object
+
+
+@dataclass(frozen=True)
+class Between:
+    """``expr BETWEEN lo AND hi`` (inclusive)."""
+
+    operand: object
+    low: object
+    high: object
+
+
+@dataclass(frozen=True)
+class InList:
+    """``expr IN (v1, v2, ...)`` over literal values."""
+
+    operand: object
+    values: tuple
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``SUM(expr)`` etc. ``COUNT(*)`` uses operand=None."""
+
+    func: str
+    operand: object
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expression: object
+    alias: str = None
+
+
+@dataclass(frozen=True)
+class Join:
+    table: str
+    left: ColumnRef
+    right: ColumnRef
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    name: str
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Query:
+    """One parsed SELECT statement."""
+
+    select: tuple
+    table: str
+    joins: tuple = ()
+    where: object = None
+    group_by: tuple = ()
+    order_by: OrderBy = None
+    limit: int = None
+
+    def aggregates(self):
+        return [
+            item for item in self.select if isinstance(item.expression, Aggregate)
+        ]
+
+    @property
+    def is_aggregate_query(self):
+        return bool(self.aggregates())

@@ -1,0 +1,625 @@
+"""Compile parsed SQL into physical plans.
+
+The planner builds the same left-deep, candidate-list pipelines the
+hand-written TPC-H plans use: per-table selections from the WHERE
+conjuncts, foreign-key hash joins in FROM order, projections that keep
+every referenced column aligned with the pipeline, expression maps for
+computed values, and group/aggregate/top-N operators for the SELECT list.
+"""
+
+import itertools
+
+import numpy as np
+
+from repro.db import expr as E
+from repro.db.catalog import stats_for
+from repro.db.operators import (
+    Aggregate as AggregateOp,
+    ExpressionMap,
+    GroupAggregate,
+    HashJoin,
+    Projection,
+    Selection,
+    SortPermutation,
+    TopN,
+)
+from repro.db.plan import PhysicalPlan
+from repro.db.sql import ast
+from repro.db.sql.errors import SqlError
+from repro.db.sql.parser import parse
+
+_AGG_FUNCS = {"SUM": "sum", "COUNT": "count", "MIN": "min", "MAX": "max"}
+
+
+def compile_sql(sql, tables):
+    """Compile a SQL string over ``tables`` (name -> Table).
+
+    Returns ``(PhysicalPlan, OutputSpec)``; run the plan with a
+    :class:`~repro.db.executor.QueryExecutor` and assemble readable
+    results with :meth:`OutputSpec.collect`.
+    """
+    query = parse(sql)
+    return _Compiler(query, tables, sql).compile()
+
+
+def execute_sql(executor, sql, tables):
+    """One-call convenience: compile, execute, assemble a SqlResult."""
+    plan, spec = compile_sql(sql, tables)
+    result = executor.execute(plan)
+    return spec.collect(executor.ctx, result)
+
+
+class OutputSpec:
+    """How to read the SELECT list back out of the plan environment."""
+
+    def __init__(self, kind, outputs, group_decoder=None, order_by=None):
+        #: 'scalar' (plain aggregates), 'group' (grouped aggregates),
+        #: 'vector' (projection query), or 'topn'.
+        self.kind = kind
+        #: alias -> env key (or (sum_key, count_key) for grouped AVG).
+        self.outputs = outputs
+        self.group_decoder = group_decoder
+        self.order_by = order_by
+
+    def collect(self, ctx, result):
+        return SqlResult(self, ctx, result)
+
+
+class SqlResult:
+    """Materialised result of one SQL statement."""
+
+    def __init__(self, spec, ctx, result):
+        self.spec = spec
+        self.plan_result = result
+        self.time_ns = result.time_ns
+        self.columns = {}
+        env = result.env
+        if spec.kind == "scalar":
+            for alias, key in spec.outputs.items():
+                self.columns[alias] = env[key]
+        elif spec.kind == "vector":
+            for alias, key in spec.outputs.items():
+                self.columns[alias] = np.asarray(env[key].read(ctx))
+        elif spec.kind == "topn":
+            self.columns["topn"] = env["topn"]
+        else:  # group
+            self._collect_group(ctx, env)
+
+    def _collect_group(self, ctx, env):
+        decoder = self.spec.group_decoder
+        packed = None
+        for alias, key in self.spec.outputs.items():
+            if isinstance(key, tuple):  # grouped AVG: (sum_key, count_key)
+                sums = env[key[0]].as_dict(ctx)
+                counts = env[key[1]].as_dict(ctx)
+                self.columns[alias] = {
+                    group: sums[group] / counts[group] for group in sums
+                }
+                packed = packed or sorted(sums)
+            else:
+                grouped = env[key].as_dict(ctx)
+                self.columns[alias] = grouped
+                packed = packed or sorted(grouped)
+        self.group_keys = {
+            code: decoder(code) for code in (packed or [])
+        } if decoder else {}
+
+    def rows(self):
+        """Result rows as dicts (group keys unpacked for group queries)."""
+        if self.spec.kind == "scalar":
+            return [dict(self.columns)]
+        if self.spec.kind == "vector":
+            names = list(self.columns)
+            length = len(next(iter(self.columns.values()))) if names else 0
+            return [
+                {name: self.columns[name][i] for name in names}
+                for i in range(length)
+            ]
+        if self.spec.kind == "topn":
+            return [
+                {"key": key, "value": value} for key, value in self.columns["topn"]
+            ]
+        rows = []
+        aliases = list(self.columns)
+        codes = sorted(next(iter(self.columns.values()))) if aliases else []
+        for code in codes:
+            row = dict(zip(self.spec.group_decoder.names, self.spec.group_decoder(code)))
+            for alias in aliases:
+                row[alias] = self.columns[alias][code]
+            rows.append(row)
+        return rows
+
+    def scalar(self, alias=None):
+        """The value of a single-scalar result."""
+        if self.spec.kind != "scalar":
+            raise SqlError("scalar() is only valid for ungrouped aggregates")
+        if alias is None:
+            if len(self.columns) != 1:
+                raise SqlError(
+                    f"result has {len(self.columns)} columns; name one of "
+                    f"{sorted(self.columns)}"
+                )
+            return next(iter(self.columns.values()))
+        return self.columns[alias]
+
+
+class _GroupDecoder:
+    """Unpacks a composite group code back into its column values."""
+
+    def __init__(self, names, strides, minimums):
+        self.names = names
+        self.strides = strides
+        self.minimums = minimums
+
+    def __call__(self, code):
+        values = []
+        remaining = int(code)
+        for stride, minimum in zip(self.strides, self.minimums):
+            values.append(remaining // stride + minimum)
+            remaining %= stride
+        return tuple(values)
+
+
+class _Compiler:
+    def __init__(self, query, tables, sql):
+        self.query = query
+        self.tables = tables
+        self.sql = sql
+        self.operators = []
+        self._fresh = itertools.count()
+        # Pipeline state ------------------------------------------------
+        #: tables visible so far, in join order.
+        self.visible = [query.table]
+        #: table -> env key of positions into that table aligned with the
+        #: pipeline (None = identity: all rows, in order).
+        self.positions = {query.table: None}
+        #: (table, column) -> env key of an aligned, materialised vector.
+        self.aligned = {}
+        self._validate_tables()
+        self.per_table_predicates = self._split_where()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _key(self, hint):
+        return f"{hint}_{next(self._fresh)}"
+
+    def _table(self, name):
+        return self.tables[name]
+
+    def _validate_tables(self):
+        known = set(self.tables)
+        wanted = [self.query.table] + [join.table for join in self.query.joins]
+        for name in wanted:
+            if name not in known:
+                raise SqlError(f"unknown table {name!r}; available: {sorted(known)}")
+        if len(set(wanted)) != len(wanted):
+            raise SqlError("each table may appear once (no self-joins)")
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+    def _resolve(self, ref, scope=None):
+        """Resolve a ColumnRef to (table, column)."""
+        scope = scope if scope is not None else (
+            [self.query.table] + [join.table for join in self.query.joins]
+        )
+        if ref.table is not None:
+            if ref.table not in scope:
+                raise SqlError(f"table {ref.table!r} is not in this query's scope")
+            if ref.column not in self._table(ref.table):
+                raise SqlError(f"table {ref.table!r} has no column {ref.column!r}")
+            return ref.table, ref.column
+        owners = [name for name in scope if ref.column in self._table(name)]
+        if not owners:
+            raise SqlError(f"no table in scope has a column {ref.column!r}")
+        if len(owners) > 1:
+            raise SqlError(
+                f"column {ref.column!r} is ambiguous (in {owners}); qualify it"
+            )
+        return owners[0], ref.column
+
+    def _referenced_tables(self, node):
+        if isinstance(node, ast.ColumnRef):
+            return {self._resolve(node)[0]}
+        if isinstance(node, ast.BinaryOp):
+            return self._referenced_tables(node.left) | self._referenced_tables(node.right)
+        if isinstance(node, ast.NotOp):
+            return self._referenced_tables(node.operand)
+        if isinstance(node, ast.Between):
+            return (
+                self._referenced_tables(node.operand)
+                | self._referenced_tables(node.low)
+                | self._referenced_tables(node.high)
+            )
+        if isinstance(node, ast.InList):
+            return self._referenced_tables(node.operand)
+        if isinstance(node, ast.Aggregate):
+            return self._referenced_tables(node.operand) if node.operand else set()
+        return set()
+
+    def _split_where(self):
+        """Partition WHERE conjuncts by the single table each references."""
+        per_table = {}
+        for conjunct in _conjuncts(self.query.where):
+            owners = self._referenced_tables(conjunct)
+            if len(owners) != 1:
+                raise SqlError(
+                    "each WHERE conjunct must reference exactly one table "
+                    "(join conditions belong in JOIN ... ON)"
+                )
+            owner = owners.pop()
+            existing = per_table.get(owner)
+            per_table[owner] = (
+                conjunct if existing is None else ast.BinaryOp("AND", existing, conjunct)
+            )
+        return per_table
+
+    # ------------------------------------------------------------------
+    # AST expression -> engine expression over one table's raw columns
+    # ------------------------------------------------------------------
+    def _to_table_expr(self, node, table):
+        """For selections: columns become raw Col(name) of one table."""
+        if isinstance(node, ast.ColumnRef):
+            owner, column = self._resolve(node)
+            if owner != table:
+                raise SqlError(f"predicate mixes tables {owner!r} and {table!r}")
+            return E.Col(column)
+        if isinstance(node, ast.Literal):
+            return E.Const(node.value)
+        if isinstance(node, ast.BinaryOp):
+            left = self._to_table_expr(node.left, table)
+            right = self._to_table_expr(node.right, table)
+            return _combine(node.op, left, right)
+        if isinstance(node, ast.NotOp):
+            return ~self._to_table_expr(node.operand, table)
+        if isinstance(node, ast.Between):
+            operand = self._to_table_expr(node.operand, table)
+            low = self._to_table_expr(node.low, table)
+            high = self._to_table_expr(node.high, table)
+            return (operand >= low) & (operand <= high)
+        if isinstance(node, ast.InList):
+            if not isinstance(node.operand, ast.ColumnRef):
+                raise SqlError("IN (...) requires a plain column on the left")
+            _owner, column = self._resolve(node.operand)
+            return E.Like(column, [int(v) for v in node.values])
+        raise SqlError(f"unsupported construct in WHERE: {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    # Pipeline construction
+    # ------------------------------------------------------------------
+    def compile(self):
+        self._plan_base_table()
+        for join in self.query.joins:
+            self._plan_join(join)
+        if self.query.is_aggregate_query:
+            spec = self._plan_aggregates()
+        else:
+            spec = self._plan_projection()
+        if not self.operators:
+            raise SqlError("query compiles to an empty plan")
+        result_key = self.operators[-1].out
+        plan = PhysicalPlan(
+            name=f"sql:{self.sql[:60]}",
+            operators=self.operators,
+            result=result_key,
+            description=self.sql,
+        )
+        return plan, spec
+
+    def _plan_base_table(self):
+        table = self.query.table
+        predicate = self.per_table_predicates.pop(table, None)
+        if predicate is not None:
+            key = self._key(f"sel_{table}")
+            self.operators.append(
+                Selection(self._table(table), self._to_table_expr(predicate, table),
+                          out=key)
+            )
+            self.positions[table] = key
+
+    def _plan_join(self, join):
+        # Exactly one side names the new table; the other a visible one.
+        sides = {}
+        for ref in (join.left, join.right):
+            owner, column = self._resolve(
+                ref, scope=self.visible + [join.table]
+            )
+            sides[owner] = column
+        if join.table not in sides or len(sides) != 2:
+            raise SqlError(
+                f"JOIN {join.table} ON must relate {join.table} to an "
+                f"already-joined table"
+            )
+        build_column = sides.pop(join.table)
+        probe_table, probe_column = sides.popitem()
+
+        # Build side: the new table, filtered if it has predicates.
+        new_table = self._table(join.table)
+        predicate = self.per_table_predicates.pop(join.table, None)
+        if predicate is not None:
+            sel_key = self._key(f"sel_{join.table}")
+            self.operators.append(
+                Selection(new_table, self._to_table_expr(predicate, join.table),
+                          out=sel_key)
+            )
+            build_keys = self._key(f"{join.table}_{build_column}")
+            self.operators.append(
+                Projection(new_table[build_column], out=build_keys, candidates=sel_key)
+            )
+        else:
+            sel_key = None
+            build_keys = new_table[build_column]
+
+        probe_keys = self._aligned_column(probe_table, probe_column)
+        join_key = self._key("join")
+        self.operators.append(HashJoin(build=build_keys, probe=probe_keys, out=join_key))
+
+        # New table positions: through the selection if it was filtered.
+        if sel_key is not None:
+            positions_key = self._key(f"{join.table}_rows")
+            self.operators.append(
+                Projection(sel_key, out=positions_key, candidates=f"{join_key}.build")
+            )
+            self.positions[join.table] = positions_key
+        else:
+            self.positions[join.table] = f"{join_key}.build"
+
+        # The pipeline shrank to the matching probe rows: remap every
+        # aligned vector and every table's position key through j.probe.
+        probe_ref = f"{join_key}.probe"
+        for name in self.visible:
+            self.positions[name] = self._remap(self.positions[name], probe_ref, name)
+        remapped = {}
+        for (owner, column), key in self.aligned.items():
+            remapped[(owner, column)] = self._remap(key, probe_ref, f"{owner}_{column}")
+        self.aligned = remapped
+        self.visible.append(join.table)
+
+    def _remap(self, key, probe_ref, hint):
+        """Gather an aligned vector (or identity) through join matches."""
+        if key is None:
+            # Identity positions: the probe matches ARE the new positions.
+            return probe_ref
+        out = self._key(f"remap_{hint}")
+        self.operators.append(Projection(key, out=out, candidates=probe_ref))
+        return out
+
+    def _aligned_column(self, table, column):
+        """Materialise (and cache) a column aligned with the pipeline."""
+        cached = self.aligned.get((table, column))
+        if cached is not None:
+            return cached
+        key = self._key(f"{table}_{column}")
+        self.operators.append(
+            Projection(
+                self._table(table)[column], out=key,
+                candidates=self.positions[table],
+            )
+        )
+        self.aligned[(table, column)] = key
+        return key
+
+    # ------------------------------------------------------------------
+    # Scalar expressions over the aligned pipeline
+    # ------------------------------------------------------------------
+    def _aligned_expr(self, node, hint):
+        """Materialise an AST expression as an aligned vector env key."""
+        if isinstance(node, ast.ColumnRef):
+            owner, column = self._resolve(node)
+            return self._aligned_column(owner, column)
+        inputs = {}
+        tree = self._to_value_expr(node, inputs)
+        out = self._key(hint)
+        self.operators.append(ExpressionMap(inputs, tree, out=out))
+        return out
+
+    def _to_value_expr(self, node, inputs):
+        if isinstance(node, ast.ColumnRef):
+            owner, column = self._resolve(node)
+            name = f"{owner}_{column}"
+            inputs[name] = self._aligned_column(owner, column)
+            return E.Col(name)
+        if isinstance(node, ast.Literal):
+            return E.Const(node.value)
+        if isinstance(node, ast.BinaryOp):
+            left = self._to_value_expr(node.left, inputs)
+            right = self._to_value_expr(node.right, inputs)
+            return _combine(node.op, left, right)
+        if isinstance(node, ast.NotOp):
+            return ~self._to_value_expr(node.operand, inputs)
+        if isinstance(node, ast.Between):
+            operand = self._to_value_expr(node.operand, inputs)
+            return (operand >= self._to_value_expr(node.low, inputs)) & (
+                operand <= self._to_value_expr(node.high, inputs)
+            )
+        if isinstance(node, ast.Aggregate):
+            raise SqlError("aggregates cannot be nested inside expressions")
+        raise SqlError(f"unsupported expression: {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    # SELECT list
+    # ------------------------------------------------------------------
+    def _plan_aggregates(self):
+        query = self.query
+        group_key, decoder = self._plan_group_key()
+        outputs = {}
+        for index, item in enumerate(query.select):
+            node = item.expression
+            if not isinstance(node, ast.Aggregate):
+                if self._is_group_item(node):
+                    continue  # surfaced through the group decoder
+                raise SqlError(
+                    "non-aggregate SELECT items must match GROUP BY expressions"
+                )
+            alias = item.alias or f"{node.func.lower()}_{index}"
+            outputs[alias] = self._plan_one_aggregate(node, alias, group_key)
+        spec_kind = "group" if group_key is not None else "scalar"
+        spec = OutputSpec(spec_kind, outputs, group_decoder=decoder)
+        if query.order_by is not None:
+            if group_key is None:
+                raise SqlError("ORDER BY needs a GROUP BY to order groups")
+            if query.order_by.name not in outputs:
+                raise SqlError(
+                    f"ORDER BY {query.order_by.name!r} must name an aggregate alias"
+                )
+            if not query.order_by.descending:
+                raise SqlError("only ORDER BY ... DESC is supported with LIMIT")
+            target = outputs[query.order_by.name]
+            if isinstance(target, tuple):
+                raise SqlError("ORDER BY over AVG is not supported")
+            limit = query.limit if query.limit is not None else 10
+            self.operators.append(TopN(target, limit, out="topn"))
+            return OutputSpec("topn", {"topn": "topn"}, group_decoder=decoder)
+        if query.limit is not None:
+            raise SqlError("LIMIT requires ORDER BY ... DESC")
+        return spec
+
+    def _plan_one_aggregate(self, node, alias, group_key):
+        if node.func == "COUNT" and node.operand is None:
+            operand_key = group_key or self._aligned_column(
+                self.query.table, self._any_column(self.query.table)
+            )
+        else:
+            operand_key = self._aligned_expr(node.operand, f"arg_{alias}")
+        if group_key is None:
+            if node.func == "AVG":
+                self.operators.append(AggregateOp(operand_key, "avg", out=alias))
+            else:
+                self.operators.append(
+                    AggregateOp(operand_key, _AGG_FUNCS[node.func], out=alias)
+                )
+            return alias
+        if node.func == "AVG":
+            sum_key, count_key = f"{alias}__sum", f"{alias}__count"
+            self.operators.append(
+                GroupAggregate(group_key, operand_key, "sum", out=sum_key)
+            )
+            self.operators.append(
+                GroupAggregate(group_key, operand_key, "count", out=count_key)
+            )
+            return (sum_key, count_key)
+        self.operators.append(
+            GroupAggregate(group_key, operand_key, _AGG_FUNCS[node.func], out=alias)
+        )
+        return alias
+
+    def _any_column(self, table):
+        return next(iter(self._table(table).columns))
+
+    def _is_group_item(self, node):
+        return any(node == group for group in self.query.group_by)
+
+    def _plan_group_key(self):
+        groups = self.query.group_by
+        if not groups:
+            return None, None
+        if len(groups) == 1 and not isinstance(groups[0], ast.ColumnRef):
+            key = self._aligned_expr(groups[0], "gkey")
+            return key, _GroupDecoder(("group",), (1,), (0,))
+        names = []
+        columns = []
+        for group in groups:
+            if not isinstance(group, ast.ColumnRef):
+                raise SqlError(
+                    "multi-key GROUP BY requires plain columns "
+                    "(use a single computed expression otherwise)"
+                )
+            owner, column = self._resolve(group)
+            names.append(column)
+            columns.append((owner, column))
+        # Pack with strides from catalog statistics.
+        widths = []
+        minimums = []
+        for owner, column in columns:
+            stats = stats_for(self._table(owner)).column(column)
+            minimums.append(int(stats.minimum) if stats.count else 0)
+            widths.append(max(1, stats.width))
+        strides = []
+        running = 1
+        for width in reversed(widths):
+            strides.append(running)
+            running *= width
+        strides.reverse()
+        inputs = {}
+        tree = None
+        for (owner, column), stride, minimum in zip(columns, strides, minimums):
+            name = f"{owner}_{column}"
+            inputs[name] = self._aligned_column(owner, column)
+            term = (E.Col(name) - minimum) * stride
+            tree = term if tree is None else tree + term
+        key = self._key("gkey")
+        self.operators.append(ExpressionMap(inputs, tree, out=key))
+        return key, _GroupDecoder(tuple(names), tuple(strides), tuple(minimums))
+
+    def _plan_projection(self):
+        if self.query.group_by:
+            raise SqlError("GROUP BY requires aggregate SELECT items")
+        if self.query.limit is not None and self.query.order_by is None:
+            raise SqlError("LIMIT requires ORDER BY")
+        outputs = {}
+        for index, item in enumerate(self.query.select):
+            alias = item.alias or _default_alias(item.expression, index)
+            outputs[alias] = self._aligned_expr(item.expression, f"out_{alias}")
+        order = self.query.order_by
+        if order is not None:
+            if order.name not in outputs:
+                raise SqlError(
+                    f"ORDER BY {order.name!r} must name a SELECT output"
+                )
+            perm_key = self._key("order")
+            self.operators.append(
+                SortPermutation(
+                    outputs[order.name], out=perm_key,
+                    descending=order.descending, limit=self.query.limit,
+                )
+            )
+            ordered = {}
+            for alias, key in outputs.items():
+                out = self._key(f"sorted_{alias}")
+                self.operators.append(
+                    Projection(key, out=out, candidates=perm_key)
+                )
+                ordered[alias] = out
+            outputs = ordered
+        return OutputSpec("vector", outputs)
+
+
+def _conjuncts(node):
+    if node is None:
+        return []
+    if isinstance(node, ast.BinaryOp) and node.op == "AND":
+        return _conjuncts(node.left) + _conjuncts(node.right)
+    return [node]
+
+
+def _combine(op, left, right):
+    if op == "AND":
+        return left & right
+    if op == "OR":
+        return left | right
+    if op in ("=", "=="):
+        return left == right
+    if op in ("<>", "!="):
+        return left != right
+    mapping = {
+        "+": lambda: left + right,
+        "-": lambda: left - right,
+        "*": lambda: left * right,
+        "/": lambda: left / right,
+        "%": lambda: left % right,
+        "<": lambda: left < right,
+        "<=": lambda: left <= right,
+        ">": lambda: left > right,
+        ">=": lambda: left >= right,
+    }
+    try:
+        return mapping[op]()
+    except KeyError:
+        raise SqlError(f"unsupported operator {op!r}") from None
+
+
+def _default_alias(node, index):
+    if isinstance(node, ast.ColumnRef):
+        return node.column
+    return f"column_{index}"

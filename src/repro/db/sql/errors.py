@@ -1,0 +1,17 @@
+"""SQL frontend errors."""
+
+from repro.errors import ReproError
+
+
+class SqlError(ReproError):
+    """A SQL statement could not be lexed, parsed, bound, or planned.
+
+    Carries the offending position when known, so messages point at the
+    problem: ``SqlError("...", position=17)``.
+    """
+
+    def __init__(self, message, position=None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position

@@ -1,0 +1,58 @@
+"""SQL tokenizer."""
+
+import re
+from dataclasses import dataclass
+
+from repro.db.sql.errors import SqlError
+
+KEYWORDS = frozenset({
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "AS",
+    "JOIN", "INNER", "ON", "AND", "OR", "NOT", "ASC", "DESC",
+    "SUM", "COUNT", "MIN", "MAX", "AVG", "BETWEEN", "IN", "CASE",
+})
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d*|\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|<>|!=|=|<|>|\+|-|\*|/|%|\(|\)|,|\.)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str  # 'number' | 'ident' | 'keyword' | 'op' | 'end'
+    text: str
+    position: int
+
+    def is_keyword(self, word):
+        return self.kind == "keyword" and self.text == word
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}@{self.position})"
+
+
+def tokenize(sql):
+    """Tokenize a SQL string; raises :class:`SqlError` on junk."""
+    tokens = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise SqlError(f"unexpected character {sql[position]!r}", position)
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        text = match.group()
+        kind = match.lastgroup
+        if kind == "ident" and text.upper() in KEYWORDS:
+            tokens.append(Token("keyword", text.upper(), match.start()))
+        else:
+            tokens.append(Token(kind, text, match.start()))
+    tokens.append(Token("end", "", len(sql)))
+    return tokens

@@ -1,0 +1,265 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (roughly)::
+
+    query      := SELECT item (',' item)* FROM ident join* where?
+                  group? order? limit?
+    item       := expr (AS ident)?
+    join       := (INNER)? JOIN ident ON colref '=' colref
+    where      := WHERE disjunction
+    group      := GROUP BY expr (',' expr)*
+    order      := ORDER BY ident (ASC | DESC)?
+    limit      := LIMIT number
+
+    disjunction := conjunction (OR conjunction)*
+    conjunction := predicate (AND predicate)*
+    predicate   := NOT predicate | sum (cmp sum | BETWEEN sum AND sum
+                   | IN '(' number, ... ')')? | '(' disjunction ')'
+    sum         := term (('+' | '-') term)*
+    term        := factor (('*' | '/' | '%') factor)*
+    factor      := number | colref | agg '(' expr | '*' ')'
+                   | '(' disjunction ')' | '-' factor
+    colref      := ident ('.' ident)?
+"""
+
+from repro.db.sql.ast import (
+    AGGREGATES,
+    Aggregate,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    InList,
+    Join,
+    Literal,
+    NotOp,
+    OrderBy,
+    Query,
+    SelectItem,
+)
+from repro.db.sql.errors import SqlError
+from repro.db.sql.lexer import tokenize
+
+_COMPARATORS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+def parse(sql):
+    """Parse one SELECT statement into a :class:`Query`."""
+    return _Parser(tokenize(sql), sql).parse_query()
+
+
+class _Parser:
+    def __init__(self, tokens, sql):
+        self.tokens = tokens
+        self.sql = sql
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def current(self):
+        return self.tokens[self.index]
+
+    def advance(self):
+        token = self.tokens[self.index]
+        if token.kind != "end":
+            self.index += 1
+        return token
+
+    def expect_keyword(self, word):
+        token = self.current
+        if not token.is_keyword(word):
+            raise SqlError(f"expected {word}, found {token.text or 'end'!r}",
+                           token.position)
+        return self.advance()
+
+    def expect_op(self, op):
+        token = self.current
+        if token.kind != "op" or token.text != op:
+            raise SqlError(f"expected {op!r}, found {token.text or 'end'!r}",
+                           token.position)
+        return self.advance()
+
+    def accept_keyword(self, word):
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def accept_op(self, op):
+        if self.current.kind == "op" and self.current.text == op:
+            self.advance()
+            return True
+        return False
+
+    def expect_ident(self):
+        token = self.current
+        if token.kind != "ident":
+            raise SqlError(f"expected an identifier, found {token.text or 'end'!r}",
+                           token.position)
+        return self.advance().text
+
+    # ------------------------------------------------------------------
+    # Query structure
+    # ------------------------------------------------------------------
+    def parse_query(self):
+        self.expect_keyword("SELECT")
+        select = [self.parse_select_item()]
+        while self.accept_op(","):
+            select.append(self.parse_select_item())
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        joins = []
+        while self.current.is_keyword("JOIN") or self.current.is_keyword("INNER"):
+            joins.append(self.parse_join())
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_disjunction()
+        group_by = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_sum())
+            while self.accept_op(","):
+                group_by.append(self.parse_sum())
+        order_by = None
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            name = self.expect_ident()
+            descending = False
+            if self.accept_keyword("DESC"):
+                descending = True
+            else:
+                self.accept_keyword("ASC")
+            order_by = OrderBy(name=name, descending=descending)
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            token = self.current
+            if token.kind != "number":
+                raise SqlError("LIMIT requires a number", token.position)
+            limit = int(float(self.advance().text))
+        end = self.current
+        if end.kind != "end":
+            raise SqlError(f"unexpected trailing input {end.text!r}", end.position)
+        return Query(
+            select=tuple(select),
+            table=table,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def parse_select_item(self):
+        expression = self.parse_disjunction()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        return SelectItem(expression=expression, alias=alias)
+
+    def parse_join(self):
+        self.accept_keyword("INNER")
+        self.expect_keyword("JOIN")
+        table = self.expect_ident()
+        self.expect_keyword("ON")
+        left = self.parse_column_ref()
+        self.expect_op("=")
+        right = self.parse_column_ref()
+        return Join(table=table, left=left, right=right)
+
+    def parse_column_ref(self):
+        first = self.expect_ident()
+        if self.accept_op("."):
+            return ColumnRef(column=self.expect_ident(), table=first)
+        return ColumnRef(column=first)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def parse_disjunction(self):
+        node = self.parse_conjunction()
+        while self.accept_keyword("OR"):
+            node = BinaryOp("OR", node, self.parse_conjunction())
+        return node
+
+    def parse_conjunction(self):
+        node = self.parse_predicate()
+        while self.accept_keyword("AND"):
+            node = BinaryOp("AND", node, self.parse_predicate())
+        return node
+
+    def parse_predicate(self):
+        if self.accept_keyword("NOT"):
+            return NotOp(self.parse_predicate())
+        node = self.parse_sum()
+        token = self.current
+        if token.kind == "op" and token.text in _COMPARATORS:
+            op = self.advance().text
+            return BinaryOp(op, node, self.parse_sum())
+        if token.is_keyword("BETWEEN"):
+            self.advance()
+            low = self.parse_sum()
+            self.expect_keyword("AND")
+            high = self.parse_sum()
+            return Between(operand=node, low=low, high=high)
+        if token.is_keyword("IN"):
+            self.advance()
+            self.expect_op("(")
+            values = [self.parse_number_literal()]
+            while self.accept_op(","):
+                values.append(self.parse_number_literal())
+            self.expect_op(")")
+            return InList(operand=node, values=tuple(values))
+        return node
+
+    def parse_number_literal(self):
+        token = self.current
+        negative = False
+        if token.kind == "op" and token.text == "-":
+            self.advance()
+            negative = True
+            token = self.current
+        if token.kind != "number":
+            raise SqlError("expected a numeric literal", token.position)
+        value = float(self.advance().text)
+        return -value if negative else value
+
+    def parse_sum(self):
+        node = self.parse_term()
+        while self.current.kind == "op" and self.current.text in ("+", "-"):
+            op = self.advance().text
+            node = BinaryOp(op, node, self.parse_term())
+        return node
+
+    def parse_term(self):
+        node = self.parse_factor()
+        while self.current.kind == "op" and self.current.text in ("*", "/", "%"):
+            op = self.advance().text
+            node = BinaryOp(op, node, self.parse_factor())
+        return node
+
+    def parse_factor(self):
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return Literal(float(token.text))
+        if token.kind == "op" and token.text == "-":
+            self.advance()
+            return BinaryOp("-", Literal(0.0), self.parse_factor())
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            node = self.parse_disjunction()
+            self.expect_op(")")
+            return node
+        if token.kind == "keyword" and token.text in AGGREGATES:
+            func = self.advance().text
+            self.expect_op("(")
+            if func == "COUNT" and self.accept_op("*"):
+                operand = None
+            else:
+                operand = self.parse_sum()
+            self.expect_op(")")
+            return Aggregate(func=func, operand=operand)
+        if token.kind == "ident":
+            return self.parse_column_ref()
+        raise SqlError(f"unexpected {token.text or 'end of input'!r}", token.position)

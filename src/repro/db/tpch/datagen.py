@@ -1,0 +1,190 @@
+"""TPC-H data generation (scaled down, dictionary-encoded).
+
+Row counts per scale factor keep the official ratios (lineitem : orders :
+customer : part : supplier : partsupp = 6M : 1.5M : 150K : 200K : 10K :
+800K per SF) divided by 500. Dates are integer day offsets in TPC-H's
+[1992-01-01, 1998-12-31] window (0..2555).
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.errors import ConfigError
+from repro.sim.rng import make_rng
+
+#: Rows per table per unit of scale factor (official ratios / 500).
+BASE_ROWS = {
+    "lineitem": 12_000,
+    "orders": 3_000,
+    "customer": 300,
+    "part": 400,
+    "supplier": 20,
+    "partsupp": 1_600,
+    "nation": 25,
+    "region": 5,
+}
+
+#: Day range of TPC-H dates.
+DATE_MIN, DATE_MAX = 0, 2555
+#: TPC-H part names draw from 92 colour words; Q9 matches one of them.
+N_PART_NAME_TOKENS = 92
+#: Each part is stocked by 4 suppliers (as in dbgen).
+SUPPLIERS_PER_PART = 4
+N_MKT_SEGMENTS = 5
+N_NATIONS = 25
+N_REGIONS = 5
+
+
+@dataclass
+class TpchDataset:
+    """Generated TPC-H arrays, ready to be loaded into a process."""
+
+    scale_factor: float
+    seed: int
+    tables: dict = field(default_factory=dict)
+
+    @property
+    def nbytes(self):
+        return sum(
+            array.nbytes for table in self.tables.values() for array in table.values()
+        )
+
+    def load_into(self, process):
+        """Materialise all tables as columnar regions of ``process``."""
+        return {
+            name: Table.create(process, name, columns)
+            for name, columns in self.tables.items()
+        }
+
+    def rows(self, table):
+        first = next(iter(self.tables[table].values()))
+        return len(first)
+
+
+def generate(scale_factor=1.0, seed=2022):
+    """Generate a deterministic TPC-H dataset at the given scale factor."""
+    if scale_factor <= 0:
+        raise ConfigError(f"scale_factor must be positive, got {scale_factor}")
+    rng = make_rng(seed)
+    counts = {
+        name: max(1, int(base * scale_factor)) if name not in ("nation", "region")
+        else base
+        for name, base in BASE_ROWS.items()
+    }
+    n_part = counts["part"]
+    n_supp = counts["supplier"]
+    n_cust = counts["customer"]
+    n_orders = counts["orders"]
+    n_lineitem = counts["lineitem"]
+
+    dataset = TpchDataset(scale_factor=scale_factor, seed=seed)
+    tables = dataset.tables
+
+    tables["region"] = {
+        "regionkey": np.arange(N_REGIONS, dtype=np.int64),
+        "name_token": np.arange(N_REGIONS, dtype=np.int64),
+    }
+    tables["nation"] = {
+        "nationkey": np.arange(N_NATIONS, dtype=np.int64),
+        "regionkey": (np.arange(N_NATIONS, dtype=np.int64) % N_REGIONS),
+        "name_token": np.arange(N_NATIONS, dtype=np.int64),
+    }
+    tables["supplier"] = {
+        "suppkey": np.arange(n_supp, dtype=np.int64),
+        "nationkey": rng.integers(0, N_NATIONS, size=n_supp),
+        "acctbal": np.round(rng.uniform(-999.99, 9999.99, size=n_supp), 2),
+    }
+    tables["customer"] = {
+        "custkey": np.arange(n_cust, dtype=np.int64),
+        "nationkey": rng.integers(0, N_NATIONS, size=n_cust),
+        "mktsegment": rng.integers(0, N_MKT_SEGMENTS, size=n_cust),
+        "acctbal": np.round(rng.uniform(-999.99, 9999.99, size=n_cust), 2),
+    }
+    tables["part"] = {
+        "partkey": np.arange(n_part, dtype=np.int64),
+        # Each part name contains one "colour" token; Q9's like-predicate
+        # matches parts whose name contains a chosen colour.
+        "name_token": rng.integers(0, N_PART_NAME_TOKENS, size=n_part),
+        "brand": rng.integers(0, 25, size=n_part),
+        "size": rng.integers(1, 51, size=n_part),
+        "retailprice": np.round(900.0 + rng.uniform(0, 200, size=n_part), 2),
+    }
+    tables["partsupp"] = _gen_partsupp(rng, n_part, n_supp)
+    tables["orders"], tables["lineitem"] = _gen_orders_lineitem(
+        rng, n_orders, n_lineitem, n_cust, n_part, n_supp, tables["partsupp"]
+    )
+    return dataset
+
+
+def _gen_partsupp(rng, n_part, n_supp):
+    """Each part stocked by SUPPLIERS_PER_PART suppliers, dbgen-style."""
+    partkeys = np.repeat(np.arange(n_part, dtype=np.int64), SUPPLIERS_PER_PART)
+    offsets = np.tile(np.arange(SUPPLIERS_PER_PART, dtype=np.int64), n_part)
+    stride = n_supp // SUPPLIERS_PER_PART + 1
+    suppkeys = (partkeys + offsets * stride) % n_supp
+    n_rows = len(partkeys)
+    return {
+        "partkey": partkeys,
+        "suppkey": suppkeys,
+        "availqty": rng.integers(1, 10_000, size=n_rows),
+        "supplycost": np.round(rng.uniform(1.0, 1000.0, size=n_rows), 2),
+    }
+
+
+def _gen_orders_lineitem(rng, n_orders, n_lineitem, n_cust, n_part, n_supp, partsupp):
+    orderdates = rng.integers(DATE_MIN, DATE_MAX - 150, size=n_orders)
+    orders = {
+        "orderkey": np.arange(n_orders, dtype=np.int64),
+        "custkey": rng.integers(0, n_cust, size=n_orders),
+        "orderdate": orderdates,
+        "totalprice": np.round(rng.uniform(850.0, 555_000.0, size=n_orders), 2),
+        "orderpriority": rng.integers(0, 5, size=n_orders),
+        "shippriority": np.zeros(n_orders, dtype=np.int64),
+    }
+
+    # Distribute lineitems over orders (1..7 per order, like dbgen).
+    per_order = rng.integers(1, 8, size=n_orders)
+    scale = n_lineitem / max(1, per_order.sum())
+    per_order = np.maximum(1, (per_order * scale).astype(np.int64))
+    li_orderkey = np.repeat(orders["orderkey"], per_order)
+    n_li = len(li_orderkey)
+
+    li_partkey = rng.integers(0, n_part, size=n_li)
+    # The (partkey, suppkey) pair must exist in partsupp: pick one of the
+    # part's SUPPLIERS_PER_PART suppliers.
+    which = rng.integers(0, SUPPLIERS_PER_PART, size=n_li)
+    stride = n_supp // SUPPLIERS_PER_PART + 1
+    li_suppkey = (li_partkey + which * stride) % n_supp
+
+    li_orderdate = np.repeat(orderdates, per_order)
+    shipdate = li_orderdate + rng.integers(1, 122, size=n_li)
+    quantity = rng.integers(1, 51, size=n_li).astype(np.float64)
+    extendedprice = np.round(quantity * rng.uniform(900.0, 1100.0, size=n_li), 2)
+    lineitem = {
+        "orderkey": li_orderkey,
+        "partkey": li_partkey,
+        "suppkey": li_suppkey,
+        "linenumber": _linenumbers(per_order),
+        "quantity": quantity,
+        "extendedprice": extendedprice,
+        "discount": np.round(rng.uniform(0.0, 0.10, size=n_li), 2),
+        "tax": np.round(rng.uniform(0.0, 0.08, size=n_li), 2),
+        "returnflag": rng.integers(0, 3, size=n_li),
+        "linestatus": rng.integers(0, 2, size=n_li),
+        "shipdate": shipdate,
+        "commitdate": shipdate + rng.integers(-30, 31, size=n_li),
+        "receiptdate": shipdate + rng.integers(1, 31, size=n_li),
+        "shipmode": rng.integers(0, 7, size=n_li),
+    }
+    return orders, lineitem
+
+
+def _linenumbers(per_order):
+    """1, 2, ... within each order."""
+    total = int(per_order.sum())
+    numbers = np.ones(total, dtype=np.int64)
+    starts = np.cumsum(per_order)[:-1]
+    numbers[starts] -= per_order[:-1]
+    return np.cumsum(numbers)

@@ -1,0 +1,36 @@
+"""The disaggregated OS (LegoOS-style splitkernel) and baseline platforms.
+
+Three platforms implement the same application-facing API:
+
+* :class:`~repro.ddc.platform.LocalPlatform` — a monolithic Linux server:
+  all memory local, spilling to an NVMe swap device when DRAM is exhausted.
+* :class:`~repro.ddc.platform.DdcPlatform` — the base disaggregated OS:
+  application threads run in the compute pool, whose local DRAM is a page
+  cache of the memory pool; faults cross the RDMA fabric.
+* :class:`~repro.ddc.platform.TeleportPlatform` — the base DDC plus the
+  TELEPORT runtime (:mod:`repro.teleport`), exposing ``ctx.pushdown``.
+
+Applications allocate :class:`~repro.mem.region.Region` objects via a
+:class:`~repro.ddc.process.Process` and access them through an
+:class:`~repro.ddc.context.ExecutionContext`, which charges virtual time
+according to where the code is running.
+"""
+
+from repro.ddc.context import ExecutionContext
+from repro.ddc.parallel import run_parallel
+from repro.ddc.platform import DdcPlatform, LocalPlatform, TeleportPlatform, make_platform
+from repro.ddc.pool import Pool
+from repro.ddc.process import Process
+from repro.ddc.thread import SimThread
+
+__all__ = [
+    "DdcPlatform",
+    "ExecutionContext",
+    "LocalPlatform",
+    "Pool",
+    "Process",
+    "SimThread",
+    "TeleportPlatform",
+    "make_platform",
+    "run_parallel",
+]

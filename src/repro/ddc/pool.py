@@ -1,0 +1,17 @@
+"""Resource pools of the disaggregated data center."""
+
+import enum
+
+
+class Pool(enum.Enum):
+    """Where a piece of code is executing."""
+
+    #: A monolithic server (the Linux baseline): all memory is local DRAM,
+    #: possibly backed by an SSD swap device.
+    LOCAL = "local"
+    #: The compute pool of a DDC: local DRAM is only a cache; misses cross
+    #: the fabric to the memory pool.
+    COMPUTE = "compute"
+    #: The memory pool's controller, executing a pushed-down function inside
+    #: a temporary user context.
+    MEMORY = "memory"

@@ -1,0 +1,15 @@
+"""Shared-nothing distributed query execution (Figure 1b's reference bars).
+
+The paper contrasts the DDC 'cost of scaling' with that of mature
+distributed DBMSs — SparkSQL (1.2x) and Vertica (2.3x) — running on
+monolithic servers. This package provides a small shared-nothing executor
+over the same TPC-H data: tables are hash-partitioned across workers,
+scans run in parallel on per-worker virtual clocks, and exchanges
+(shuffle / gather) cross the same network model the DDC uses. Engine
+profiles capture the per-system overheads (scheduling, materialisation,
+pipelining) that separate SparkSQL-style from Vertica-style execution.
+"""
+
+from repro.distdb.engine import DistributedEngine, EngineProfile, SPARKSQL, VERTICA
+
+__all__ = ["DistributedEngine", "EngineProfile", "SPARKSQL", "VERTICA"]

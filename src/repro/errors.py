@@ -1,0 +1,71 @@
+"""Exception hierarchy for the TELEPORT reproduction.
+
+All library-raised errors derive from :class:`ReproError` so applications can
+catch simulation-level failures separately from programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class AllocationError(ReproError):
+    """A virtual-memory allocation could not be satisfied."""
+
+
+class AccessError(ReproError):
+    """A memory access fell outside any allocated region."""
+
+
+class PushdownError(ReproError):
+    """Base class for failures of a ``pushdown`` call."""
+
+
+class PushdownTimeout(PushdownError):
+    """The pushed function did not complete within the caller's timeout.
+
+    Mirrors Section 3.2 of the paper: on timeout the caller may issue
+    ``try_cancel`` and, if cancellation succeeds, run the function locally.
+    """
+
+    def __init__(self, message, cancelled):
+        super().__init__(message)
+        #: True if the request was removed from the memory pool's workqueue
+        #: before it started executing (safe to re-run the function locally).
+        self.cancelled = cancelled
+
+
+class PushdownAborted(PushdownError):
+    """Buggy pushdown code was killed by the memory pool's watchdog."""
+
+
+class RemotePushdownFault(PushdownError):
+    """The pushed function raised; the exception is rethrown at the caller.
+
+    General protection faults (here: any exception escaping ``fn``) are
+    caught by the stub in the temporary user context and shipped back.
+    """
+
+    def __init__(self, original):
+        super().__init__(f"pushdown function raised {type(original).__name__}: {original}")
+        self.original = original
+
+
+class KernelPanic(ReproError):
+    """The memory pool became unreachable: main memory is lost.
+
+    The paper's TELEPORT triggers a kernel panic in this case; partial
+    failure handling is left to future work.
+    """
+
+
+class CoherenceViolation(ReproError):
+    """The Single-Writer-Multiple-Reader invariant was broken.
+
+    Raised only by internal assertions / property tests; a correct protocol
+    never triggers it.
+    """

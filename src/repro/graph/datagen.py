@@ -1,0 +1,54 @@
+"""Synthetic graph generation.
+
+The paper evaluates PowerGraph on a real-world social-network graph
+[Yang & Leskovec 2012]. We substitute a synthetic power-law graph with the
+same qualitative properties: heavy-tailed degree distribution (a few hubs
+with enormous neighbourhoods) and low diameter — the properties that make
+gather/scatter memory access unpredictable.
+"""
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sim.rng import make_rng
+
+
+def social_graph(n_vertices, avg_degree=16, seed=2022, undirected=True,
+                 skew=2.0, max_weight=10.0):
+    """Generate a power-law graph.
+
+    Returns ``(src, dst, weight)`` int64/int64/float64 arrays. Edge
+    destinations follow a discrete power law (preferential-attachment
+    style), so some vertices become hubs; sources are uniform.
+    """
+    if n_vertices < 2:
+        raise ConfigError(f"need at least 2 vertices, got {n_vertices}")
+    if avg_degree < 1:
+        raise ConfigError(f"avg_degree must be >= 1, got {avg_degree}")
+    rng = make_rng(seed)
+    n_edges = n_vertices * avg_degree // (2 if undirected else 1)
+
+    src = rng.integers(0, n_vertices, size=n_edges)
+    # Power-law destinations: inverse-CDF of p(k) ~ (k+1)^-skew.
+    u = rng.random(n_edges)
+    ranks = np.floor(n_vertices * u ** skew).astype(np.int64)
+    ranks = np.minimum(ranks, n_vertices - 1)
+    # Shuffle rank->vertex so hub ids are spread across the id space
+    # (hub locality would otherwise make DDC caching unrealistically easy).
+    perm = rng.permutation(n_vertices)
+    dst = perm[ranks]
+
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    weight = rng.uniform(1.0, max_weight, size=len(src))
+    if undirected:
+        # Mirror every edge so the graph is symmetric.
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        weight = np.concatenate([weight, weight])
+    # Drop parallel edges (keep the first weight): a simple graph, so
+    # results compare exactly against reference implementations.
+    composite = src.astype(np.int64) * n_vertices + dst
+    _unique, first = np.unique(composite, return_index=True)
+    first.sort()
+    src, dst, weight = src[first], dst[first], weight[first]
+    return src.astype(np.int64), dst.astype(np.int64), weight

@@ -1,0 +1,24 @@
+"""A shared-memory MapReduce system (the reproduction's Phoenix).
+
+Phoenix (Section 5.3) runs map, reduce and merge phases over shared
+memory. The paper splits the map phase into *map-compute* (apply the user
+map function, generate key-value records) and *map-shuffle* (scatter the
+records into the reduce tasks' buffers); map-shuffle is 95% of map time in
+a DDC and is the piece TELEPORT pushes down — 28 lines of code in the
+paper's Phoenix port.
+
+The engine here has the same four phases (map-compute, map-shuffle,
+reduce, merge); jobs are WordCount and Grep over a synthetic Zipfian text
+corpus standing in for the paper's Reddit-comments dataset.
+"""
+
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.jobs import GrepJob, WordCountJob
+from repro.mapreduce.textgen import make_corpus
+
+__all__ = [
+    "GrepJob",
+    "MapReduceEngine",
+    "WordCountJob",
+    "make_corpus",
+]

@@ -1,0 +1,59 @@
+"""Parallel pushdown processing (Figure 17).
+
+A parallel aggregation over the TPC-H Lineitem table: eight compute-pool
+threads each push an aggregate over their slice down to the memory pool,
+which dedicates two physical cores to pushdown. Sweeping the number of
+TELEPORT user contexts shows the speedup of parallel request processing
+and its diminishing returns once contexts outnumber cores.
+"""
+
+from repro.ddc import make_platform, run_parallel
+from repro.sim.rng import make_rng
+
+
+def parallel_aggregation_speedups(config, contexts=(1, 2, 3, 4), n_threads=8,
+                                  rows=400_000):
+    """Makespan per context count; returns {contexts: speedup_vs_1}."""
+    times = {}
+    for n_contexts in contexts:
+        times[n_contexts] = _run_once(config, n_contexts, n_threads, rows)
+    base = times[contexts[0]]
+    return {n: base / t for n, t in times.items()}
+
+
+def _run_once(config, n_contexts, n_threads, rows):
+    run_config = config.with_overrides(teleport_instances=n_contexts)
+    platform = make_platform("teleport", run_config)
+    process = platform.new_process()
+    rng = make_rng(run_config.seed)
+    quantity = process.alloc_array("lineitem.quantity", rng.random(rows))
+    parent = platform.main_context(process)
+    # The application was processing the table before the parallel
+    # aggregation, so the compute-local cache holds dirty pages: each
+    # pushdown's execution includes coherence work that overlaps with
+    # other contexts' CPU bursts.
+    parent.touch_seq(quantity, 0, rows, write=True)
+    slice_rows = rows // n_threads
+
+    def make_task(part):
+        lo = part * slice_rows
+        hi = rows if part == n_threads - 1 else lo + slice_rows
+
+        def aggregate(mctx):
+            values = mctx.load_slice(quantity, lo, hi)
+            # Aggregation over the slice: per-tuple predicate + accumulate.
+            mctx.compute((hi - lo) * 25)
+            return float(values.sum())
+
+        def task(ctx):
+            return ctx.pushdown(aggregate)
+
+        return task
+
+    results = run_parallel(parent, [make_task(i) for i in range(n_threads)])
+    expected = float(quantity.array.sum())
+    total = sum(results)
+    assert abs(total - expected) < max(1e-6 * abs(expected), 1e-6), (
+        "parallel aggregation lost data"
+    )
+    return parent.now

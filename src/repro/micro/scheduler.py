@@ -1,0 +1,19 @@
+"""Deterministic interleaved execution of simulated threads.
+
+Threads are Python generators that perform one bounded chunk of charged
+work per ``next()``. The scheduler always steps the thread with the
+smallest virtual clock, which yields a deterministic, causally consistent
+interleaving — the property the coherence experiments need (a write at
+time t is visible to the other thread's accesses after t).
+"""
+
+
+def interleave(tasks):
+    """Run (clock, generator) pairs to completion, smallest clock first."""
+    active = [(clock, gen) for clock, gen in tasks]
+    while active:
+        clock, gen = min(active, key=lambda pair: pair[0].now)
+        try:
+            next(gen)
+        except StopIteration:
+            active.remove((clock, gen))

@@ -1,0 +1,35 @@
+"""Simulation substrate: virtual time, hardware configuration, statistics.
+
+The paper's results are execution times on a physical InfiniBand testbed.
+This package replaces the testbed with a deterministic cost model: every
+hardware action (touching a DRAM page, sending an RDMA message, faulting a
+page from the NVMe storage pool) has a configurable cost in virtual
+nanoseconds, charged to per-thread :class:`~repro.sim.clock.VirtualClock`
+instances. Nothing in the library reads wall-clock time, so all experiments
+are exactly reproducible.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.config import DdcConfig
+from repro.sim.network import Network
+from repro.sim.rng import make_rng
+from repro.sim.stats import PushdownBreakdown, Stats
+from repro.sim.trace import TraceEvent, Tracer
+from repro.sim.units import GIB, KIB, MIB, MS, SEC, US
+
+__all__ = [
+    "DdcConfig",
+    "GIB",
+    "KIB",
+    "MIB",
+    "MS",
+    "Network",
+    "PushdownBreakdown",
+    "SEC",
+    "Stats",
+    "TraceEvent",
+    "Tracer",
+    "US",
+    "VirtualClock",
+    "make_rng",
+]

@@ -1,0 +1,262 @@
+"""Hardware and platform configuration.
+
+:class:`DdcConfig` captures every knob of the simulated disaggregated data
+center. Defaults mirror the paper's testbed (Section 7): a 56 Gbps / 1.2 us
+InfiniBand fabric, 4 KiB pages, a compute pool whose local DRAM is a small
+cache of the working set, a large memory pool with a weak controller CPU,
+and an NVMe storage pool (3 GB/s sequential).
+
+Sizes are scaled down relative to the paper (we do not materialise 50 GB in
+a unit test) but the *ratios* that determine every result shape — cache to
+working set, network to DRAM latency, memory-pool to compute-pool clock —
+default to the paper's values and are individually adjustable.
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.sim.units import GIB, MIB
+
+
+@dataclass
+class DdcConfig:
+    """Configuration of the simulated disaggregated data center."""
+
+    # ------------------------------------------------------------------
+    # Memory layout
+    # ------------------------------------------------------------------
+    #: Page size in bytes. All placement metadata is per page.
+    page_size: int = 4096
+    #: Compute-pool local DRAM used as a page cache (the paper uses 1 GB for
+    #: 50 GB working sets; keep the ~2% ratio when scaling workloads).
+    compute_cache_bytes: int = 64 * MIB
+    #: Capacity of the memory pool; pages beyond this spill to the storage
+    #: pool (Figure 15 sweeps this).
+    memory_pool_bytes: int = 64 * GIB
+    #: DRAM of the monolithic-Linux baseline; beyond this, pages swap to SSD.
+    local_ram_bytes: int = 64 * GIB
+
+    # ------------------------------------------------------------------
+    # Network fabric (RDMA over InfiniBand)
+    # ------------------------------------------------------------------
+    #: One-way message latency in ns (paper: 1.2 us).
+    net_latency_ns: float = 1200.0
+    #: Link bandwidth in bytes per ns (56 Gbps = 7 bytes/ns).
+    net_bandwidth_bytes_per_ns: float = 7.0
+    #: Per-message software overhead of the LITE-style RPC layer.
+    rpc_software_ns: float = 400.0
+
+    # ------------------------------------------------------------------
+    # Paging costs
+    # ------------------------------------------------------------------
+    #: Cost of touching one locally resident 4 KiB page (DRAM).
+    dram_page_ns: float = 250.0
+    #: Cost of one random element access to a locally resident page
+    #: (DRAM latency; cheaper than streaming the whole page).
+    dram_random_ns: float = 100.0
+    #: Cost of an element access that stays on the same page as the
+    #: previous access (row-buffer / cache-line hit).
+    dram_line_ns: float = 4.0
+    #: Software cost of a page fault (trap, handler, PTE/TLB update).
+    fault_software_ns: float = 2500.0
+    #: Sequential prefetch degree of the compute-pool cache (LegoOS-style).
+    #: A sequential miss fetches this many pages in one request.
+    prefetch_degree: int = 8
+
+    # ------------------------------------------------------------------
+    # CPUs
+    # ------------------------------------------------------------------
+    #: Clock speed of compute-pool cores in GHz (paper: 2.1).
+    compute_clock_ghz: float = 2.1
+    #: Clock speed of the memory-pool controller cores (Figure 16 sweeps
+    #: this down to 0.4 GHz).
+    memory_clock_ghz: float = 2.1
+    #: Physical cores the memory pool dedicates to pushdown (Figure 17).
+    memory_pool_cores: int = 1
+
+    # ------------------------------------------------------------------
+    # Storage pool (NVMe SSD)
+    # ------------------------------------------------------------------
+    #: Sequential SSD bandwidth in bytes per ns (3 GB/s).
+    ssd_bandwidth_bytes_per_ns: float = 3.0
+    #: Cost of a random 4 KiB swap fault (device latency + swap software
+    #: path); dominates when spilling with poor locality.
+    ssd_random_fault_ns: float = 90_000.0
+    #: Software cost of the swap-in path even for sequential (readahead)
+    #: faults — block layer, swap-cache management, and write-back
+    #: pressure under thrashing. Paid once per readahead batch.
+    ssd_swap_software_ns: float = 50_000.0
+    #: Pages brought in per sequential SSD fault (readahead).
+    ssd_readahead_pages: int = 16
+
+    # ------------------------------------------------------------------
+    # TELEPORT
+    # ------------------------------------------------------------------
+    #: Number of parallel TELEPORT instances (temporary user contexts) the
+    #: memory pool runs; requests queue FIFO beyond this (Figure 17).
+    teleport_instances: int = 1
+    #: Per-resident-PTE cost of building the temporary context's page table
+    #: (clone + Invalidate walk of Figure 8).
+    pte_clone_ns: float = 150.0
+    #: Fixed cost of instantiating / recycling a temporary user context.
+    context_base_ns: float = 20_000.0
+    #: Bytes per entry of the resident-page list before compression.
+    page_list_entry_bytes: int = 9
+    #: Run-length-encoding compression ratio of the resident-page list
+    #: (Section 6 reports 20x).
+    rle_compression: float = 20.0
+    #: Average latency of one coherence protocol message (paper: 1.6 us).
+    coherence_msg_ns: float = 1600.0
+    #: Time t the compute pool waits before reissuing a write upgrade that
+    #: lost a tie-break to the memory pool (Section 4.1).
+    contention_backoff_ns: float = 50_000.0
+    #: Watchdog timeout after which a wedged pushdown function is killed
+    #: and the caller receives an abort (Section 3.2).
+    watchdog_timeout_ns: float = 60.0 * 1e9
+    #: Interval of the compute-pool heartbeat thread that detects memory
+    #: pool failure.
+    heartbeat_interval_ns: float = 10.0 * 1e6
+    #: Extra scheduling penalty per runnable context beyond physical cores
+    #: (fraction of CPU time; drives Figure 17's diminishing returns).
+    context_switch_penalty: float = 0.12
+
+    # ------------------------------------------------------------------
+    # Simulation fidelity
+    # ------------------------------------------------------------------
+    #: Random-access batches larger than this are cost-simulated by
+    #: deterministic stride sampling (every k-th access exact, results
+    #: scaled), keeping huge graph/shuffle workloads tractable without
+    #: changing cost shapes.
+    access_sample_threshold: int = 32768
+    #: Number of exact accesses simulated per sampled batch.
+    access_sample_target: int = 16384
+
+    # ------------------------------------------------------------------
+    # Reproducibility
+    # ------------------------------------------------------------------
+    #: Seed for all data generators in a run.
+    seed: int = 2022
+
+    def __post_init__(self):
+        positive = {
+            "page_size": self.page_size,
+            "compute_cache_bytes": self.compute_cache_bytes,
+            "memory_pool_bytes": self.memory_pool_bytes,
+            "local_ram_bytes": self.local_ram_bytes,
+            "net_bandwidth_bytes_per_ns": self.net_bandwidth_bytes_per_ns,
+            "dram_page_ns": self.dram_page_ns,
+            "compute_clock_ghz": self.compute_clock_ghz,
+            "memory_clock_ghz": self.memory_clock_ghz,
+            "memory_pool_cores": self.memory_pool_cores,
+            "ssd_bandwidth_bytes_per_ns": self.ssd_bandwidth_bytes_per_ns,
+            "teleport_instances": self.teleport_instances,
+            "rle_compression": self.rle_compression,
+        }
+        for name, value in positive.items():
+            if value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+        non_negative = {
+            "net_latency_ns": self.net_latency_ns,
+            "rpc_software_ns": self.rpc_software_ns,
+            "fault_software_ns": self.fault_software_ns,
+            "pte_clone_ns": self.pte_clone_ns,
+            "context_base_ns": self.context_base_ns,
+            "coherence_msg_ns": self.coherence_msg_ns,
+            "contention_backoff_ns": self.contention_backoff_ns,
+            "context_switch_penalty": self.context_switch_penalty,
+        }
+        for name, value in non_negative.items():
+            if value < 0:
+                raise ConfigError(f"{name} must be non-negative, got {value}")
+        if self.prefetch_degree < 1:
+            raise ConfigError("prefetch_degree must be at least 1")
+        if self.ssd_readahead_pages < 1:
+            raise ConfigError("ssd_readahead_pages must be at least 1")
+
+    # ------------------------------------------------------------------
+    # Derived helpers
+    # ------------------------------------------------------------------
+    @property
+    def compute_cache_pages(self):
+        """Capacity of the compute-local page cache, in pages."""
+        return max(1, self.compute_cache_bytes // self.page_size)
+
+    @property
+    def memory_pool_pages(self):
+        """Capacity of the memory pool, in pages."""
+        return max(1, self.memory_pool_bytes // self.page_size)
+
+    @property
+    def local_ram_pages(self):
+        """Capacity of the monolithic baseline's DRAM, in pages."""
+        return max(1, self.local_ram_bytes // self.page_size)
+
+    def pages_of(self, nbytes):
+        """Number of pages covering ``nbytes``."""
+        return (int(nbytes) + self.page_size - 1) // self.page_size
+
+    def net_message_ns(self, nbytes=0):
+        """Cost of one RDMA message carrying ``nbytes`` of payload."""
+        return self.net_latency_ns + self.rpc_software_ns + nbytes / self.net_bandwidth_bytes_per_ns
+
+    def net_roundtrip_ns(self, request_bytes=0, response_bytes=0):
+        """Cost of a request/response pair over the fabric."""
+        return self.net_message_ns(request_bytes) + self.net_message_ns(response_bytes)
+
+    def remote_fault_ns(self, npages=1):
+        """Cost of a compute-pool page fault served by the memory pool.
+
+        One request fetches ``npages`` pages (sequential prefetching): the
+        network round trip and transfer are amortised over the batch, but
+        the per-page software cost (trap, handler, PTE/TLB update) is paid
+        for every page — which is why the paper finds OS-level caching and
+        prefetching "on their own insufficient" (Section 1).
+        """
+        transfer = npages * self.page_size / self.net_bandwidth_bytes_per_ns
+        return npages * self.fault_software_ns + self.net_roundtrip_ns() + transfer
+
+    def page_writeback_ns(self, npages=1):
+        """Cost of evicting dirty pages from the compute cache."""
+        transfer = npages * self.page_size / self.net_bandwidth_bytes_per_ns
+        return self.net_message_ns() + transfer
+
+    def ssd_fault_ns(self, npages=1, sequential=False):
+        """Cost of faulting pages in from (or out to) the storage pool."""
+        transfer = npages * self.page_size / self.ssd_bandwidth_bytes_per_ns
+        if sequential:
+            return self.ssd_swap_software_ns + transfer
+        return self.ssd_random_fault_ns + transfer
+
+    def cpu_ns(self, ops, ghz=None):
+        """Time to execute ``ops`` simple operations at ``ghz`` (cycles @ 1 op/cycle)."""
+        clock = self.compute_clock_ghz if ghz is None else ghz
+        return ops / clock
+
+    def page_list_message_bytes(self, resident_pages):
+        """Size of the RLE-compressed resident-page list (Section 6)."""
+        raw = resident_pages * self.page_list_entry_bytes
+        return max(64, int(raw / self.rle_compression))
+
+    def with_overrides(self, **kwargs):
+        """Return a copy of this config with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def scaled_config(working_set_bytes, cache_ratio=0.02, **overrides):
+    """Build a config whose compute cache is ``cache_ratio`` of the working set.
+
+    The paper's headline setting is 1 GB of compute-local memory for a
+    ~50 GB working set (2%); experiments in this reproduction shrink the
+    working set but keep the ratio.
+    """
+    if not 0 < cache_ratio <= 1:
+        raise ConfigError(f"cache_ratio must be in (0, 1], got {cache_ratio}")
+    cache_bytes = max(int(working_set_bytes * cache_ratio), 16 * 4096)
+    config = DdcConfig(compute_cache_bytes=cache_bytes)
+    if overrides:
+        config = config.with_overrides(**overrides)
+    return config
+
+
+# Convenience alias used throughout tests and benchmarks.
+DEFAULT_CONFIG = DdcConfig()

@@ -1,0 +1,62 @@
+"""The disaggregation fabric.
+
+Models a reliable, FIFO RDMA network (the paper uses LITE's two-sided RPC
+over one-sided writes). The network only computes costs and counts traffic;
+delivery ordering is guaranteed by the discrete-event scheduler, matching
+the paper's assumption that "RPC messages are received and handled in FIFO
+order (enforced using reliable RDMA connections)".
+"""
+
+
+class Network:
+    """Cost model of the RDMA fabric connecting the resource pools."""
+
+    def __init__(self, config, stats):
+        self.config = config
+        self.stats = stats
+
+    def message_ns(self, nbytes=0):
+        """Charge one message of ``nbytes`` payload; return its cost."""
+        self.stats.rpc_messages += 1
+        self.stats.network_bytes += int(nbytes)
+        return self.config.net_message_ns(nbytes)
+
+    def roundtrip_ns(self, request_bytes=0, response_bytes=0):
+        """Charge a request/response pair; return total cost."""
+        return self.message_ns(request_bytes) + self.message_ns(response_bytes)
+
+    def pages_in_ns(self, npages, batched=True):
+        """Charge fetching ``npages`` from memory pool to compute pool.
+
+        ``batched`` pages travel in one fault-sized request (prefetching);
+        otherwise each page pays full latency.
+        """
+        self.stats.remote_pages_in += npages
+        page = self.config.page_size
+        self.stats.network_bytes += npages * page
+        self.stats.rpc_messages += 2 if batched else 2 * npages
+        if batched:
+            return self.config.remote_fault_ns(npages)
+        return npages * self.config.remote_fault_ns(1)
+
+    def pages_out_ns(self, npages, batched=True):
+        """Charge writing ``npages`` back from compute pool to memory pool."""
+        self.stats.remote_pages_out += npages
+        page = self.config.page_size
+        self.stats.network_bytes += npages * page
+        self.stats.rpc_messages += 1 if batched else npages
+        if batched:
+            return self.config.page_writeback_ns(npages)
+        return npages * self.config.page_writeback_ns(1)
+
+    def coherence_message_ns(self, with_page=False):
+        """Charge one coherence-protocol message (Section 4.1).
+
+        ``with_page`` adds a 4 KiB page transfer (ownership migration).
+        """
+        self.stats.coherence_messages += 1
+        cost = self.config.coherence_msg_ns
+        if with_page:
+            self.stats.network_bytes += self.config.page_size
+            cost += self.config.page_size / self.config.net_bandwidth_bytes_per_ns
+        return cost

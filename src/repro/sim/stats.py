@@ -1,0 +1,127 @@
+"""Run statistics and pushdown cost breakdowns.
+
+A :class:`Stats` object is shared by everything running under one platform
+and counts hardware events: page movements, faults, coherence traffic. The
+per-figure benchmarks report these counters (e.g. Figure 10's remote bytes,
+Figure 22's coherence messages).
+"""
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class Stats:
+    """Mutable event counters for one simulated run."""
+
+    # Compute-pool cache behaviour.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    dirty_writebacks: int = 0
+
+    # Pages moved over the fabric.
+    remote_pages_in: int = 0
+    remote_pages_out: int = 0
+
+    # Storage pool.
+    storage_faults: int = 0
+    storage_pages_in: int = 0
+    storage_pages_out: int = 0
+
+    # Network messages (all kinds).
+    rpc_messages: int = 0
+    network_bytes: int = 0
+
+    # Coherence protocol (Section 4).
+    coherence_messages: int = 0
+    coherence_invalidations: int = 0
+    coherence_downgrades: int = 0
+    coherence_tiebreaks: int = 0
+
+    # TELEPORT activity.
+    pushdown_calls: int = 0
+    pushdown_cancellations: int = 0
+    pushdown_aborts: int = 0
+    syncmem_calls: int = 0
+    memory_side_page_touches: int = 0
+
+    def remote_bytes(self, page_size):
+        """Total bytes of page traffic over the fabric."""
+        return (self.remote_pages_in + self.remote_pages_out) * page_size
+
+    def snapshot(self):
+        """Copy of the current counter values."""
+        return Stats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def delta(self, earlier):
+        """Counters accumulated since an earlier :meth:`snapshot`."""
+        return Stats(
+            **{f.name: getattr(self, f.name) - getattr(earlier, f.name) for f in fields(self)}
+        )
+
+    def merge(self, other):
+        """Add another Stats object's counters into this one."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def scale_since(self, baseline, factor):
+        """Scale all counters accumulated since ``baseline`` by ``factor``.
+
+        Used by the stride-sampling fast path: a sampled batch's counter
+        deltas are extrapolated to the full batch size.
+        """
+        for f in fields(self):
+            base = getattr(baseline, f.name)
+            delta = getattr(self, f.name) - base
+            setattr(self, f.name, base + round(delta * factor))
+        return self
+
+    def as_dict(self):
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class PushdownBreakdown:
+    """Per-component cost of one pushdown call (Figure 19 / Figure 20).
+
+    Components follow the paper's numbering: (1) pre-pushdown sync,
+    (2) request transfer, (3) user context setup, (4) function execution
+    plus online sync, (5) response transfer, (6) post-pushdown sync.
+    """
+
+    pre_sync_ns: float = 0.0
+    request_ns: float = 0.0
+    queue_wait_ns: float = 0.0
+    context_setup_ns: float = 0.0
+    function_ns: float = 0.0
+    online_sync_ns: float = 0.0
+    response_ns: float = 0.0
+    post_sync_ns: float = 0.0
+
+    @property
+    def total_ns(self):
+        return (
+            self.pre_sync_ns
+            + self.request_ns
+            + self.queue_wait_ns
+            + self.context_setup_ns
+            + self.function_ns
+            + self.online_sync_ns
+            + self.response_ns
+            + self.post_sync_ns
+        )
+
+    @property
+    def overhead_ns(self):
+        """Everything except the user function itself (Figure 20 excludes it)."""
+        return self.total_ns - self.function_ns
+
+    def merge(self, other):
+        """Accumulate another breakdown (e.g. over many pushdown calls)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def as_dict(self):
+        return {f.name: getattr(self, f.name) for f in fields(self)}

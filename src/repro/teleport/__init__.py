@@ -1,0 +1,35 @@
+"""TELEPORT: the compute-pushdown primitive (paper Sections 3, 4 and 6).
+
+The public surface is deliberately close to the paper's:
+
+* ``ctx.pushdown(fn, *args, ...)`` — the ``pushdown(fn, arg, flags)``
+  syscall. The calling thread blocks until ``fn`` completes in the memory
+  pool; ``fn`` receives a memory-side execution context and may freely use
+  any region of the caller's address space (pointers just work, because the
+  temporary user context borrows the caller's page table).
+* ``ctx.syncmem(regions)`` — manual, preemptive flush of dirty pages
+  (Section 4.2).
+* :class:`~repro.teleport.flags.ConsistencyMode` /
+  :class:`~repro.teleport.flags.SyncMethod` — the ``flags`` parameter:
+  coherence relaxations (PSO, weak ordering, off) and synchronisation
+  strategies (on-demand default, eager strawman, per-thread eviction).
+
+The coherence protocol in :mod:`repro.teleport.coherence` is implemented
+page-for-page from the paper's Figures 8 and 9 and maintains the
+Single-Writer-Multiple-Reader invariant across the compute cache and the
+temporary context's page table.
+"""
+
+from repro.teleport.coherence import CoherenceProtocol
+from repro.teleport.flags import ConsistencyMode, PushdownOptions, SyncMethod
+from repro.teleport.rpc import RpcServer
+from repro.teleport.runtime import TeleportRuntime
+
+__all__ = [
+    "CoherenceProtocol",
+    "ConsistencyMode",
+    "PushdownOptions",
+    "RpcServer",
+    "SyncMethod",
+    "TeleportRuntime",
+]

@@ -1,0 +1,64 @@
+"""The memory pool's RPC server and TELEPORT instance pool (Section 3.2).
+
+The server maintains a pool of TELEPORT instances, each of which can host
+one temporary user context at a time. Requests are dispatched FIFO to the
+first free instance; when every instance is busy, requests queue (with a
+single instance, concurrent pushdowns serialise, the paper's default).
+
+When more instances run than the memory pool has physical cores, execution
+stretches due to time sharing plus a context-switching penalty — the source
+of Figure 17's diminishing returns.
+"""
+
+from repro.errors import ConfigError
+
+
+class RpcServer:
+    """Dispatch state of the memory pool's pushdown instances."""
+
+    def __init__(self, config):
+        if config.teleport_instances < 1:
+            raise ConfigError("need at least one TELEPORT instance")
+        self.config = config
+        self._free_at = [0.0] * config.teleport_instances
+        self.dispatched = 0
+        self.cancelled = 0
+
+    @property
+    def instances(self):
+        return len(self._free_at)
+
+    def plan(self, arrival_ns):
+        """Plan dispatch of a request arriving at ``arrival_ns``.
+
+        Returns ``(instance_index, start_ns, cpu_scale)`` without
+        committing, so the caller can still cancel a request that would
+        wait in the queue past its timeout (Section 3.2).
+        """
+        index = min(range(len(self._free_at)), key=self._free_at.__getitem__)
+        start_ns = max(arrival_ns, self._free_at[index])
+        busy = sum(1 for t in self._free_at if t > start_ns) + 1
+        return index, start_ns, self._cpu_scale(busy)
+
+    def commit(self, index):
+        """Occupy an instance (it stays busy until :meth:`complete`)."""
+        self._free_at[index] = float("inf")
+        self.dispatched += 1
+
+    def complete(self, index, end_ns):
+        """Mark an instance free at ``end_ns``."""
+        self._free_at[index] = end_ns
+
+    def cancel_queued(self):
+        """Record a request removed from the workqueue before starting."""
+        self.cancelled += 1
+
+    def earliest_free_ns(self):
+        return min(self._free_at)
+
+    def _cpu_scale(self, busy):
+        cores = self.config.memory_pool_cores
+        if busy <= cores:
+            return 1.0
+        oversub = busy / cores
+        return oversub * (1.0 + self.config.context_switch_penalty * (busy - cores))

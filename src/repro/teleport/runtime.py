@@ -1,0 +1,297 @@
+"""The TELEPORT runtime: the ``pushdown`` syscall end to end (Section 3.2).
+
+A pushdown call walks the numbered steps of Figure 5: the caller stalls,
+the request crosses the fabric to the memory pool's RPC server, a TELEPORT
+instance instantiates a temporary user context that borrows the caller's
+page table, the function runs against local data with on-demand coherence,
+and the completion flows back.
+
+:class:`PushdownSession` exposes the same flow in two halves (begin /
+finish) so the interleaved microbenchmark scheduler can step the pushed
+function concurrently with compute-pool threads.
+"""
+
+from repro.ddc.context import ExecutionContext
+from repro.ddc.pool import Pool
+from repro.ddc.thread import SimThread
+from repro.errors import (
+    KernelPanic,
+    PushdownAborted,
+    PushdownTimeout,
+    RemotePushdownFault,
+    ReproError,
+)
+from repro.sim.stats import PushdownBreakdown
+from repro.teleport.coherence import CoherenceProtocol
+from repro.teleport.flags import ConsistencyMode, PushdownOptions, SyncMethod
+from repro.teleport.rpc import RpcServer
+
+#: Nominal payload of the pushdown request/response envelope (fn pointer,
+#: argument vector pointer, flags / return value, exception record).
+_ENVELOPE_BYTES = 256
+
+
+class TeleportRuntime:
+    """Per-platform TELEPORT state: RPC server, protocols, breakdowns."""
+
+    def __init__(self, platform):
+        self.platform = platform
+        self.config = platform.config
+        self.stats = platform.stats
+        self.network = platform.network
+        self.rpc = RpcServer(platform.config)
+        #: One :class:`PushdownBreakdown` per completed call (Figure 20).
+        self.breakdowns = []
+        self._protocols = {}
+        self.memory_pool_failed = False
+
+    # ------------------------------------------------------------------
+    # Failure injection (Section 3.2, exception and fault handling)
+    # ------------------------------------------------------------------
+    def fail_memory_pool(self):
+        """Simulate a network/memory hardware failure of the memory pool."""
+        self.memory_pool_failed = True
+
+    def _check_memory_pool(self, ctx):
+        if self.memory_pool_failed:
+            # The heartbeat thread detects the failure within one interval;
+            # main memory is lost, so TELEPORT triggers a kernel panic.
+            ctx.charge_ns(self.config.heartbeat_interval_ns)
+            raise KernelPanic("memory pool unreachable: heartbeat lost")
+
+    # ------------------------------------------------------------------
+    # The syscall
+    # ------------------------------------------------------------------
+    def pushdown(self, ctx, fn, *args, consistency=None, sync=None, timeout_ns=None,
+                 sync_regions=None, options=None):
+        """Ship ``fn(*args)`` to the memory pool; block until it completes.
+
+        ``fn`` receives a memory-side :class:`ExecutionContext` as its first
+        argument and may access any region of the caller's address space.
+        Exceptions raised by ``fn`` are rethrown at the caller wrapped in
+        :class:`RemotePushdownFault`.
+        """
+        options = _resolve_options(options, consistency, sync, timeout_ns, sync_regions)
+        session = self.begin_session(ctx, options)
+        if session.cancelled:
+            raise PushdownTimeout(
+                f"pushdown cancelled after {options.timeout_ns:.0f}ns in queue",
+                cancelled=True,
+            )
+        error = None
+        result = None
+        try:
+            result = fn(session.mctx, *args)
+        except ReproError:
+            session.abandon()
+            raise
+        except Exception as exc:  # user-function failure: rethrow at caller
+            error = exc
+        session.finish()
+        if session.aborted:
+            raise PushdownAborted(
+                f"pushdown function exceeded the {self.config.watchdog_timeout_ns:.0f}ns watchdog"
+            )
+        if error is not None:
+            raise RemotePushdownFault(error)
+        return result
+
+    # ------------------------------------------------------------------
+    # Session API (two-phase pushdown, used by the interleaved scheduler)
+    # ------------------------------------------------------------------
+    def begin_session(self, ctx, options=PushdownOptions.DEFAULT):
+        self._check_memory_pool(ctx)
+        self.stats.pushdown_calls += 1
+        if self.platform.tracer.enabled:
+            self.platform.tracer.emit(
+                ctx.now, "pushdown", phase="begin",
+                sync=options.sync.value, consistency=options.consistency.value,
+            )
+        return PushdownSession(self, ctx, options)
+
+    # ------------------------------------------------------------------
+    # Protocol sharing for concurrent pushdowns of one process
+    # ------------------------------------------------------------------
+    def acquire_protocol(self, process, mode):
+        protocol = self._protocols.get(process.pid)
+        if protocol is None or protocol.refcount == 0:
+            protocol = CoherenceProtocol(self.platform, process, mode)
+            self._protocols[process.pid] = protocol
+        protocol.refcount += 1
+        return protocol
+
+    def release_protocol(self, process):
+        protocol = self._protocols.get(process.pid)
+        if protocol is None:
+            return
+        protocol.refcount -= 1
+        if protocol.refcount <= 0:
+            protocol.finish()
+            compkernel, _memkernel = self.platform.kernels_for(process)
+            compkernel.protocol = None
+
+
+class PushdownSession:
+    """One in-flight pushdown: request, context setup, execution, reply."""
+
+    def __init__(self, runtime, ctx, options):
+        self.runtime = runtime
+        self.caller = ctx
+        self.options = options
+        self.config = runtime.config
+        self.breakdown = PushdownBreakdown()
+        self.cancelled = False
+        self.aborted = False
+        self._finished = False
+        process = ctx.thread.process
+        platform = runtime.platform
+        compkernel, memkernel = platform.kernels_for(process)
+        self._compkernel = compkernel
+        self._process = process
+        call_ns = ctx.now
+
+        # --- (1) pre-pushdown synchronisation --------------------------
+        pre_cost, resident, refetch = self._pre_sync(compkernel)
+        self.breakdown.pre_sync_ns = pre_cost
+        ctx.charge_ns(pre_cost)
+        self._refetch_vpns = refetch
+
+        # --- (2) request transfer (RLE-compressed resident list) -------
+        request_bytes = _ENVELOPE_BYTES + self.config.page_list_message_bytes(len(resident))
+        request_cost = runtime.network.message_ns(request_bytes)
+        self.breakdown.request_ns = request_cost
+        ctx.charge_ns(request_cost)
+
+        # --- (3) dispatch / queueing at the RPC server ------------------
+        arrival = ctx.now
+        index, start_ns, cpu_scale = runtime.rpc.plan(arrival)
+        self.breakdown.queue_wait_ns = start_ns - arrival
+        timeout = options.timeout_ns
+        if timeout is not None and start_ns - call_ns > timeout:
+            # try_cancel succeeds: the request had not started executing,
+            # so it is simply removed from the workqueue (Section 3.2).
+            runtime.rpc.cancel_queued()
+            runtime.stats.pushdown_cancellations += 1
+            ctx.thread.clock.advance_to(call_ns + timeout)
+            ctx.charge_ns(self.config.net_roundtrip_ns(64, 64))
+            self.cancelled = True
+            if runtime.platform.tracer.enabled:
+                runtime.platform.tracer.emit(ctx.now, "pushdown", phase="cancelled")
+            return
+        runtime.rpc.commit(index)
+        self._instance = index
+
+        # --- (4) temporary user context setup (Figure 8) ----------------
+        mode = options.consistency
+        if options.sync is not SyncMethod.ON_DEMAND:
+            # The eager ablations pre-synchronise instead of running the
+            # online protocol.
+            mode = ConsistencyMode.OFF
+        protocol = runtime.acquire_protocol(process, mode)
+        if protocol.refcount == 1:
+            setup_cost = protocol.setup(resident)
+        else:
+            # Joining an existing shared context: only a kernel thread is
+            # created; the page table is already prepared.
+            setup_cost = self.config.context_base_ns
+        compkernel.protocol = protocol
+        self.protocol = protocol
+        self.breakdown.context_setup_ns = setup_cost
+
+        # --- (5) the temporary context's execution thread ---------------
+        mem_thread = SimThread(
+            process, name=f"{ctx.thread.name}/pushdown", pool=Pool.MEMORY,
+            start_ns=start_ns + setup_cost,
+        )
+        mem_thread.cpu_scale = cpu_scale
+        self.mem_thread = mem_thread
+        self._exec_start = mem_thread.clock.now
+        self._online_sync_base = protocol.online_sync_ns
+        self.mctx = ExecutionContext(
+            runtime.platform, mem_thread, memkernel=memkernel,
+            compkernel=compkernel, protocol=protocol,
+        )
+
+    def _pre_sync(self, compkernel):
+        """Returns (cost, resident_list, refetch_vpns) per the sync method."""
+        sync = self.options.sync
+        if sync is SyncMethod.ON_DEMAND:
+            return 0.0, compkernel.resident_snapshot(), []
+        if sync is SyncMethod.EAGER:
+            refetch = [vpn for vpn, _writable in compkernel.resident_snapshot()]
+            flush_cost, _count = compkernel.flush_dirty()
+            evict_cost = compkernel.evict_all()
+            return flush_cost + evict_cost, [], refetch
+        if sync is SyncMethod.EAGER_REGIONS:
+            cost = compkernel.evict_regions(self.options.sync_regions)
+            return cost, [], []
+        raise ReproError(f"unknown sync method {sync!r}")
+
+    def finish(self, check_invariant=False):
+        """Complete the pushdown: reply, post-sync, unblock the caller."""
+        if self.cancelled or self._finished:
+            return
+        self._finished = True
+        runtime = self.runtime
+        protocol = self.protocol
+        exec_end = self.mem_thread.clock.now
+        exec_total = exec_end - self._exec_start
+        online = protocol.online_sync_ns - self._online_sync_base
+        self.breakdown.online_sync_ns = online
+        self.breakdown.function_ns = max(0.0, exec_total - online)
+
+        # Watchdog: buggy code that fails to complete is killed so it does
+        # not block other pushdown requests (Section 3.2).
+        if exec_total > self.config.watchdog_timeout_ns:
+            self.aborted = True
+            runtime.stats.pushdown_aborts += 1
+            exec_end = self._exec_start + self.config.watchdog_timeout_ns
+        runtime.rpc.complete(self._instance, exec_end)
+        if check_invariant:
+            protocol.check_swmr()
+
+        # --- (6/7) completion notification + response transfer ----------
+        response_cost = runtime.network.message_ns(_ENVELOPE_BYTES)
+        self.breakdown.response_ns = response_cost
+
+        # --- (8) post-pushdown synchronisation ---------------------------
+        # Relaxed consistency propagates writes at this explicit boundary.
+        post_cost = protocol.boundary_sync()
+        runtime.release_protocol(self._process)
+        if self.options.sync is SyncMethod.EAGER and self._refetch_vpns:
+            # Page-by-page refetch of everything the cache used to hold —
+            # the strawman cost the on-demand protocol avoids (Figure 20).
+            post_cost += runtime.network.pages_in_ns(len(self._refetch_vpns), batched=False)
+            for vpn in self._refetch_vpns:
+                self._compkernel.cache.insert(vpn, writable=False)
+        self.breakdown.post_sync_ns = post_cost
+
+        caller_clock = self.caller.thread.clock
+        caller_clock.advance_to(exec_end)
+        caller_clock.advance(response_cost + post_cost)
+        runtime.breakdowns.append(self.breakdown)
+        if runtime.platform.tracer.enabled:
+            runtime.platform.tracer.emit(
+                caller_clock.now, "pushdown",
+                phase="aborted" if self.aborted else "finish",
+                function_ms=round(self.breakdown.function_ns / 1e6, 3),
+            )
+
+    def abandon(self):
+        """Tear down after a simulation-level error inside ``fn``."""
+        if self.cancelled or self._finished:
+            return
+        self._finished = True
+        self.runtime.rpc.complete(self._instance, self.mem_thread.clock.now)
+        self.runtime.release_protocol(self._process)
+
+
+def _resolve_options(options, consistency, sync, timeout_ns, sync_regions):
+    if options is not None:
+        return options
+    return PushdownOptions(
+        consistency=consistency or ConsistencyMode.MESI,
+        sync=sync or SyncMethod.ON_DEMAND,
+        timeout_ns=timeout_ns,
+        sync_regions=tuple(sync_regions or ()),
+    )

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.ddc import make_platform
+from repro.sim.config import DdcConfig
+from repro.sim.units import KIB, MIB
+
+
+@pytest.fixture
+def small_config():
+    """A config with a tiny compute cache so eviction paths are exercised."""
+    return DdcConfig(compute_cache_bytes=64 * KIB)
+
+
+@pytest.fixture
+def config():
+    return DdcConfig(compute_cache_bytes=1 * MIB)
+
+
+@pytest.fixture
+def teleport_env(config):
+    """(platform, process, compute-pool context) on a TELEPORT platform."""
+    platform = make_platform("teleport", config)
+    process = platform.new_process()
+    ctx = platform.main_context(process)
+    return platform, process, ctx
+
+
+@pytest.fixture
+def ddc_env(config):
+    platform = make_platform("ddc", config)
+    process = platform.new_process()
+    ctx = platform.main_context(process)
+    return platform, process, ctx
+
+
+@pytest.fixture
+def local_env(config):
+    platform = make_platform("local", config)
+    process = platform.new_process()
+    ctx = platform.main_context(process)
+    return platform, process, ctx
+
+
+def alloc_floats(process, name, count, seed=7):
+    """Allocate a region of random float64 data."""
+    rng = np.random.default_rng(seed)
+    return process.alloc_array(name, rng.random(count))

@@ -1,0 +1,76 @@
+"""Tests for figure result containers and formatting."""
+
+import pytest
+
+from repro.bench.results import FigureResult, geomean
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def figure():
+    result = FigureResult(
+        figure="figXX", title="demo", columns=["name", "value"]
+    )
+    result.add(name="a", value=1.5)
+    result.add(name="b", value=None)
+    return result
+
+
+def test_add_requires_all_columns(figure):
+    with pytest.raises(ReproError):
+        figure.add(name="c")
+
+
+def test_series(figure):
+    assert figure.series("name") == ["a", "b"]
+    assert figure.series("value") == [1.5, None]
+    with pytest.raises(ReproError):
+        figure.series("missing")
+
+
+def test_row_lookup(figure):
+    assert figure.row(name="a")["value"] == 1.5
+    with pytest.raises(ReproError):
+        figure.row(name="zzz")
+
+
+def test_format_table_contains_everything(figure):
+    text = figure.format_table()
+    assert "figXX" in text
+    assert "demo" in text
+    assert "1.50" in text
+    assert "N/A" in text  # None rendering
+
+
+def test_format_table_with_notes():
+    result = FigureResult("f", "t", ["x"], notes="context here")
+    result.add(x=1)
+    assert "note: context here" in result.format_table()
+
+
+def test_format_handles_extreme_floats():
+    result = FigureResult("f", "t", ["x"])
+    result.add(x=1234567.0)
+    result.add(x=0.000001)
+    result.add(x=0.0)
+    text = result.format_table()
+    assert "1.23e+06" in text
+    assert "1e-06" in text
+
+
+def test_geomean_basic():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geomean([3.0]) == pytest.approx(3.0)
+
+
+def test_geomean_skips_none():
+    assert geomean([2.0, None, 8.0]) == pytest.approx(4.0)
+
+
+def test_geomean_rejects_empty_and_nonpositive():
+    with pytest.raises(ReproError):
+        geomean([])
+    with pytest.raises(ReproError):
+        geomean([None])
+    with pytest.raises(ReproError):
+        geomean([1.0, -2.0])

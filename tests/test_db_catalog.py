@@ -1,0 +1,75 @@
+"""Tests for catalog statistics."""
+
+import numpy as np
+import pytest
+
+from repro.db.catalog import TableStats, stats_for
+from repro.db.table import Table
+from repro.ddc import make_platform
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def table():
+    platform = make_platform("local")
+    process = platform.new_process()
+    rng = np.random.default_rng(67)
+    return Table.create(
+        process,
+        "t",
+        {
+            "key": np.arange(1000, dtype=np.int64),
+            "bucket": rng.integers(5, 12, size=1000),
+            "value": rng.random(1000),
+        },
+    )
+
+
+def test_column_stats_exact(table):
+    stats = stats_for(table).column("bucket")
+    assert stats.count == 1000
+    assert stats.minimum == 5
+    assert stats.maximum == 11
+    assert stats.distinct == 7
+    assert stats.width == 7
+
+
+def test_unique_key_stats(table):
+    stats = stats_for(table).column("key")
+    assert stats.distinct == 1000
+    assert stats.width == 1000
+
+
+def test_stats_cached_per_table(table):
+    assert stats_for(table) is stats_for(table)
+    first = stats_for(table).column("value")
+    assert stats_for(table).column("value") is first
+
+
+def test_unknown_column_rejected(table):
+    with pytest.raises(ReproError):
+        stats_for(table).column("missing")
+
+
+def test_empty_table_stats():
+    platform = make_platform("local")
+    process = platform.new_process()
+    table = Table.create(process, "e", {"x": np.empty(0, dtype=np.int64)})
+    stats = stats_for(table).column("x")
+    assert stats.count == 0
+    assert stats.width == 1
+
+
+def test_sampled_distinct_estimate():
+    platform = make_platform("local")
+    process = platform.new_process()
+    rng = np.random.default_rng(71)
+    n = TableStats.SAMPLE_LIMIT * 3
+    table = Table.create(
+        process, "big", {"g": rng.integers(0, 50, size=n)}
+    )
+    stats = stats_for(table).column("g")
+    # The estimate is bounded and in the right ballpark for 50 distincts.
+    assert stats.count == n
+    assert stats.distinct <= n
+    assert stats.distinct >= 50

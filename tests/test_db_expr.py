@@ -1,0 +1,96 @@
+"""Tests for the expression trees."""
+
+import numpy as np
+import pytest
+
+from repro.db.expr import BinOp, Col, Const, Expr, Like, Not
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def arrays():
+    return {
+        "a": np.array([1.0, 2.0, 3.0, 4.0]),
+        "b": np.array([4.0, 3.0, 2.0, 1.0]),
+        "t": np.array([10, 20, 30, 40]),
+    }
+
+
+def test_col_reads_named_array(arrays):
+    assert (Col("a").evaluate(arrays) == arrays["a"]).all()
+
+
+def test_col_unknown_column_raises(arrays):
+    with pytest.raises(ReproError):
+        Col("missing").evaluate(arrays)
+
+
+def test_const_evaluates_to_value(arrays):
+    assert Const(5).evaluate(arrays) == 5
+
+
+def test_arithmetic(arrays):
+    expr = Col("a") * 2 + Col("b") - 1
+    assert (expr.evaluate(arrays) == arrays["a"] * 2 + arrays["b"] - 1).all()
+
+
+def test_reflected_operators(arrays):
+    expr = 1.0 - Col("a")
+    assert (expr.evaluate(arrays) == 1.0 - arrays["a"]).all()
+    expr = 2 * Col("a")
+    assert (expr.evaluate(arrays) == 2 * arrays["a"]).all()
+    expr = 10 + Col("a")
+    assert (expr.evaluate(arrays) == 10 + arrays["a"]).all()
+
+
+def test_comparisons_and_logic(arrays):
+    expr = (Col("a") > 1) & (Col("b") >= 2)
+    assert (expr.evaluate(arrays) == np.array([False, True, True, False])).all()
+    expr = (Col("a") == 1) | (Col("b") == 1)
+    assert (expr.evaluate(arrays) == np.array([True, False, False, True])).all()
+
+
+def test_floordiv_and_mod(arrays):
+    assert (Col("t") // 15).evaluate(arrays).tolist() == [0, 1, 2, 2]
+    assert (Col("t") % 15).evaluate(arrays).tolist() == [10, 5, 0, 10]
+
+
+def test_not(arrays):
+    expr = ~(Col("a") > 2)
+    assert (expr.evaluate(arrays) == np.array([True, True, False, False])).all()
+
+
+def test_columns_collected(arrays):
+    expr = (Col("a") + Col("b")) * Col("a")
+    assert expr.columns() == {"a", "b"}
+    assert Const(1).columns() == set()
+
+
+def test_ops_per_row_grows_with_tree():
+    small = Col("a") + 1
+    big = (Col("a") + 1) * (Col("b") - 2) / 3
+    assert big.ops_per_row() > small.ops_per_row()
+    assert Const(1).ops_per_row() == 0
+
+
+def test_unknown_binop_rejected():
+    with pytest.raises(ReproError):
+        BinOp("**", Col("a"), Const(2))
+
+
+def test_like_matches_token_set(arrays):
+    expr = Like("t", [20, 40])
+    assert (expr.evaluate(arrays) == np.array([False, True, False, True])).all()
+    assert expr.columns() == {"t"}
+    assert expr.ops_per_row() >= 4
+
+
+def test_expression_repr_is_readable():
+    expr = (Col("a") + 1) & (Col("b") < 3)
+    text = repr(expr)
+    assert "a" in text and "b" in text
+
+
+def test_expr_base_is_abstract(arrays):
+    with pytest.raises(NotImplementedError):
+        Expr().evaluate(arrays)

@@ -1,0 +1,97 @@
+"""Tests for the extended TPC-H queries (Q12, Q14) and Where expressions."""
+
+import numpy as np
+import pytest
+
+from repro.db import QueryExecutor
+from repro.db.expr import Col, Like, Where
+from repro.db.tpch import (
+    build_q12,
+    build_q14,
+    generate,
+    reference_q12,
+    reference_q14,
+)
+from repro.ddc import make_platform
+from repro.sim.config import scaled_config
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(scale_factor=2, seed=17)
+
+
+def make_executor(dataset, kind, pushdown=None):
+    config = scaled_config(dataset.nbytes, cache_ratio=0.02)
+    platform = make_platform(kind, config)
+    process = platform.new_process()
+    tables = dataset.load_into(process)
+    ctx = platform.main_context(process)
+    return QueryExecutor(ctx, pushdown=pushdown), tables, ctx
+
+
+class TestWhereExpression:
+    def test_where_selects_by_condition(self):
+        arrays = {"x": np.array([1.0, 5.0, 2.0, 9.0])}
+        expr = Where(Col("x") > 2, Col("x") * 10, -1.0)
+        assert expr.evaluate(arrays).tolist() == [-1.0, 50.0, -1.0, 90.0]
+
+    def test_where_wraps_scalars(self):
+        arrays = {"x": np.array([0.0, 1.0])}
+        expr = Where(Col("x") == 1, 7, 3)
+        assert expr.evaluate(arrays).tolist() == [3, 7]
+
+    def test_where_columns_union(self):
+        expr = Where(Col("a") > 0, Col("b"), Col("c"))
+        assert expr.columns() == {"a", "b", "c"}
+
+    def test_where_ops_exceed_parts(self):
+        expr = Where(Col("a") > 0, Col("b"), 0.0)
+        assert expr.ops_per_row() > (Col("a") > 0).ops_per_row()
+
+    def test_where_composes_with_like(self):
+        arrays = {"t": np.array([1, 50, 3]), "v": np.array([10.0, 20.0, 30.0])}
+        expr = Where(Like("t", [1, 3]), Col("v"), 0.0)
+        assert expr.evaluate(arrays).tolist() == [10.0, 0.0, 30.0]
+
+
+@pytest.mark.parametrize("kind,pushdown", [
+    ("local", None),
+    ("ddc", None),
+    ("teleport", "all"),
+])
+class TestQ12:
+    def test_matches_reference(self, dataset, kind, pushdown):
+        executor, tables, ctx = make_executor(dataset, kind, pushdown)
+        result = executor.execute(build_q12(tables))
+        high_ref, low_ref = reference_q12(dataset)
+        assert result.env["g_high"].as_dict(ctx) == high_ref
+        assert result.env["g_low"].as_dict(ctx) == low_ref
+
+
+@pytest.mark.parametrize("kind,pushdown", [
+    ("local", None),
+    ("ddc", None),
+    ("teleport", "all"),
+])
+class TestQ14:
+    def test_matches_reference(self, dataset, kind, pushdown):
+        executor, tables, _ctx = make_executor(dataset, kind, pushdown)
+        result = executor.execute(build_q14(tables))
+        promo_ref, total_ref = reference_q14(dataset)
+        assert result.env["promo_total"] == pytest.approx(promo_ref)
+        assert result.env["total"] == pytest.approx(total_ref)
+
+    def test_promo_share_is_a_fraction(self, dataset, kind, pushdown):
+        promo_ref, total_ref = reference_q14(dataset)
+        assert 0.0 < promo_ref < total_ref
+
+
+class TestCrossPlatformTiming:
+    def test_ddc_pays_and_teleport_recovers(self, dataset):
+        times = {}
+        for kind, pushdown in [("local", None), ("ddc", None), ("teleport", "all")]:
+            executor, tables, _ctx = make_executor(dataset, kind, pushdown)
+            times[kind] = executor.execute(build_q14(tables)).time_ns
+        assert times["ddc"] > 1.5 * times["local"]
+        assert times["teleport"] < times["ddc"]

@@ -1,0 +1,140 @@
+"""Direct unit tests for the compute- and memory-side kernels."""
+
+import numpy as np
+import pytest
+
+from repro.ddc import make_platform
+from repro.sim.config import DdcConfig
+from repro.sim.units import KIB, MIB
+
+from tests.conftest import alloc_floats
+
+
+@pytest.fixture
+def kernels():
+    platform = make_platform("ddc", DdcConfig(compute_cache_bytes=64 * KIB))
+    process = platform.new_process()
+    region = alloc_floats(process, "a", 200_000)  # 1.6 MB >> 64 KiB cache
+    compute, memory = platform.kernels_for(process)
+    return platform, process, region, compute, memory
+
+
+class TestComputeKernel:
+    def test_miss_then_hit(self, kernels):
+        platform, _process, region, compute, memory = kernels
+        vpn = region.start_vpn
+        miss_cost = compute.touch_random(memory, vpn, write=False)
+        assert miss_cost > 0
+        assert platform.stats.cache_misses == 1
+        hit_cost = compute.touch_random(memory, vpn, write=False)
+        assert hit_cost == 0.0
+        assert platform.stats.cache_hits == 1
+
+    def test_silent_upgrade_without_protocol(self, kernels):
+        _platform, _process, region, compute, memory = kernels
+        vpn = region.start_vpn
+        compute.touch_random(memory, vpn, write=False)
+        assert not compute.cache.peek(vpn).writable
+        cost = compute.touch_random(memory, vpn, write=True)
+        assert cost == 0.0  # no other sharer: silent upgrade
+        assert compute.cache.peek(vpn).writable
+        assert compute.cache.peek(vpn).dirty
+
+    def test_sequential_batches_by_prefetch_degree(self, kernels):
+        platform, _process, region, compute, memory = kernels
+        degree = platform.config.prefetch_degree
+        npages = degree * 4
+        compute.touch_sequential(memory, region.start_vpn, npages, write=False)
+        # One fault event per prefetch batch, all pages moved.
+        assert platform.stats.cache_misses == 4
+        assert platform.stats.remote_pages_in == npages
+
+    def test_sequential_write_marks_dirty(self, kernels):
+        _platform, _process, region, compute, memory = kernels
+        compute.touch_sequential(memory, region.start_vpn, 4, write=True)
+        assert set(compute.cache.dirty_vpns()) == set(
+            range(region.start_vpn, region.start_vpn + 4)
+        )
+
+    def test_eviction_writes_back_dirty_pages(self, kernels):
+        platform, _process, region, compute, memory = kernels
+        capacity = compute.cache.capacity_pages
+        compute.touch_sequential(memory, region.start_vpn, capacity, write=True)
+        assert platform.stats.dirty_writebacks == 0
+        # Overflow the cache: dirty LRU victims must be written back.
+        compute.touch_sequential(
+            memory, region.start_vpn + capacity, capacity, write=False
+        )
+        assert platform.stats.dirty_writebacks > 0
+        assert platform.stats.remote_pages_out > 0
+
+    def test_flush_dirty_scoped(self, kernels):
+        _platform, _process, region, compute, memory = kernels
+        compute.touch_sequential(memory, region.start_vpn, 8, write=True)
+        cost, count = compute.flush_dirty([region.start_vpn, region.start_vpn + 1])
+        assert count == 2
+        assert cost > 0
+        assert len(compute.cache.dirty_vpns()) == 6
+
+    def test_flush_dirty_nothing_to_do(self, kernels):
+        _platform, _process, _region, compute, _memory = kernels
+        cost, count = compute.flush_dirty()
+        assert (cost, count) == (0.0, 0)
+
+    def test_evict_all_clears_cache(self, kernels):
+        _platform, _process, region, compute, memory = kernels
+        compute.touch_sequential(memory, region.start_vpn, 10, write=True)
+        cost = compute.evict_all()
+        assert cost > 0  # dirty write-backs
+        assert len(compute.cache) == 0
+
+    def test_resident_snapshot_permissions(self, kernels):
+        _platform, _process, region, compute, memory = kernels
+        compute.touch_random(memory, region.start_vpn, write=False)
+        compute.touch_random(memory, region.start_vpn + 1, write=True)
+        snapshot = dict(compute.resident_snapshot())
+        assert snapshot[region.start_vpn] is False
+        assert snapshot[region.start_vpn + 1] is True
+
+
+class TestMemoryKernel:
+    def test_alloc_is_resident(self, kernels):
+        _platform, _process, region, _compute, memory = kernels
+        assert memory.is_resident(region.start_vpn)
+
+    def test_spill_and_fault_back(self):
+        platform = make_platform(
+            "ddc",
+            DdcConfig(compute_cache_bytes=64 * KIB, memory_pool_bytes=1 * MIB),
+        )
+        process = platform.new_process()
+        big = alloc_floats(process, "big", 400_000)  # 3.2 MB > 1 MiB pool
+        _compute, memory = platform.kernels_for(process)
+        # The earliest pages were displaced to storage.
+        assert not memory.is_resident(big.start_vpn)
+        cost = memory.ensure_resident(big.start_vpn)
+        assert cost > 0
+        assert memory.is_resident(big.start_vpn)
+        assert platform.stats.storage_faults >= 1
+
+    def test_free_drops_residency(self, kernels):
+        _platform, process, region, _compute, memory = kernels
+        process.free(region)
+        assert not memory.is_resident(region.start_vpn)
+
+    def test_compute_fetch_triggers_recursive_fault(self):
+        """Section 2.1's recursive fault: compute fault -> memory pool
+        faults the page in from storage -> page flows back."""
+        platform = make_platform(
+            "ddc",
+            DdcConfig(compute_cache_bytes=64 * KIB, memory_pool_bytes=1 * MIB),
+        )
+        process = platform.new_process()
+        big = alloc_floats(process, "big", 400_000)
+        compute, memory = platform.kernels_for(process)
+        assert not memory.is_resident(big.start_vpn)
+        cost = compute.touch_random(memory, big.start_vpn, write=False)
+        # Paid both the storage fault and the network fault.
+        assert cost > platform.config.remote_fault_ns(1)
+        assert platform.stats.storage_faults >= 1
+        assert big.start_vpn in compute.cache

@@ -1,0 +1,84 @@
+"""Tests for platform construction, processes, and allocation hooks."""
+
+import numpy as np
+import pytest
+
+from repro.ddc import DdcPlatform, LocalPlatform, Pool, TeleportPlatform, make_platform
+from repro.errors import ConfigError
+from repro.sim.config import DdcConfig
+
+
+def test_factory_builds_each_kind():
+    assert isinstance(make_platform("local"), LocalPlatform)
+    assert isinstance(make_platform("ddc"), DdcPlatform)
+    assert isinstance(make_platform("teleport"), TeleportPlatform)
+
+
+def test_factory_rejects_unknown_kind():
+    with pytest.raises(ConfigError):
+        make_platform("mainframe")
+
+
+def test_teleport_is_a_ddc_platform():
+    platform = make_platform("teleport")
+    assert isinstance(platform, DdcPlatform)
+    assert platform.teleport is not None
+
+
+def test_thread_pools_per_platform():
+    for kind, pool in [("local", Pool.LOCAL), ("ddc", Pool.COMPUTE), ("teleport", Pool.COMPUTE)]:
+        platform = make_platform(kind)
+        process = platform.new_process()
+        thread = platform.spawn_thread(process)
+        assert thread.pool is pool
+
+
+def test_processes_have_distinct_pids():
+    platform = make_platform("ddc")
+    a = platform.new_process()
+    b = platform.new_process()
+    assert a.pid != b.pid
+
+
+def test_alloc_on_ddc_is_memory_pool_resident():
+    platform = make_platform("ddc")
+    process = platform.new_process()
+    region = process.alloc_array("a", np.zeros(4096, dtype=np.float64))
+    _compute, memory = platform.kernels_for(process)
+    assert all(memory.is_resident(vpn) for vpn in region.all_vpns())
+
+
+def test_alloc_on_local_is_ram_resident():
+    platform = make_platform("local")
+    process = platform.new_process()
+    region = process.alloc_array("a", np.zeros(4096, dtype=np.float64))
+    assert all(vpn in platform.swap for vpn in region.all_vpns())
+
+
+def test_kernels_are_per_process_and_cached():
+    platform = make_platform("ddc")
+    a = platform.new_process()
+    b = platform.new_process()
+    assert platform.kernels_for(a) is platform.kernels_for(a)
+    assert platform.kernels_for(a) is not platform.kernels_for(b)
+
+
+def test_main_context_spawns_thread():
+    platform = make_platform("ddc")
+    ctx = platform.main_context()
+    assert ctx.now == 0.0
+    assert ctx.pool is Pool.COMPUTE
+
+
+def test_platform_uses_given_config():
+    config = DdcConfig(memory_clock_ghz=0.7)
+    platform = make_platform("teleport", config)
+    assert platform.config.memory_clock_ghz == pytest.approx(0.7)
+
+
+def test_free_releases_region():
+    platform = make_platform("ddc")
+    process = platform.new_process()
+    region = process.alloc("tmp", 8192)
+    process.free(region)
+    assert "tmp" not in process.address_space.regions

@@ -1,0 +1,100 @@
+"""Determinism: identical runs produce bit-identical times and counters.
+
+The whole evaluation rests on this — no wall clock, no unseeded
+randomness, no dict-ordering dependence anywhere in the cost paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.db import QueryExecutor
+from repro.db.tpch import build_q9, generate
+from repro.ddc import make_platform
+from repro.graph import GraphEngine, social_graph, sssp
+from repro.mapreduce import MapReduceEngine, WordCountJob, make_corpus
+from repro.micro import MicroSpec, run_micro
+from repro.sim.config import scaled_config
+
+
+def run_q9_once():
+    dataset = generate(scale_factor=2, seed=83)
+    config = scaled_config(dataset.nbytes, cache_ratio=0.02)
+    platform = make_platform("teleport", config)
+    process = platform.new_process()
+    tables = dataset.load_into(process)
+    ctx = platform.main_context(process)
+    result = QueryExecutor(ctx, pushdown={"hashjoin", "projection"}).execute(
+        build_q9(tables)
+    )
+    return result.time_ns, platform.stats.as_dict(), dict(result.value)
+
+
+def test_tpch_run_is_deterministic():
+    first = run_q9_once()
+    second = run_q9_once()
+    assert first[0] == second[0]
+    assert first[1] == second[1]
+    assert first[2] == second[2]
+
+
+def test_graph_run_is_deterministic():
+    def run_once():
+        src, dst, weight = social_graph(800, avg_degree=8, seed=89)
+        platform = make_platform("ddc", scaled_config(src.nbytes * 4))
+        engine = GraphEngine(platform.main_context(), 800, src, dst, weight)
+        distances = sssp(engine, 0)
+        return engine.total_time_ns(), platform.stats.as_dict(), distances
+
+    t1, s1, d1 = run_once()
+    t2, s2, d2 = run_once()
+    assert t1 == t2
+    assert s1 == s2
+    assert (np.nan_to_num(d1, posinf=-1) == np.nan_to_num(d2, posinf=-1)).all()
+
+
+def test_mapreduce_run_is_deterministic():
+    def run_once():
+        corpus = make_corpus(50_000, vocabulary=2_000, seed=97)
+        platform = make_platform("teleport", scaled_config(corpus.nbytes * 2))
+        engine = MapReduceEngine(
+            platform.main_context(), corpus, pushdown=("map_shuffle",)
+        )
+        counts = engine.run(WordCountJob())
+        return engine.total_time_ns(), platform.stats.as_dict(), counts
+
+    t1, s1, c1 = run_once()
+    t2, s2, c2 = run_once()
+    assert t1 == t2
+    assert s1 == s2
+    assert c1 == c2
+
+
+def test_micro_run_is_deterministic():
+    spec = MicroSpec(
+        mem_space_bytes=8 * 1024 * 1024,
+        n_accesses=10_000,
+        compute_ops=5_000_000,
+        contention_rate=0.01,
+        step_size=1000,
+    )
+    config = scaled_config(spec.mem_space_bytes, cache_ratio=0.02)
+    first = run_micro(spec, config, "teleport_coherence")
+    second = run_micro(spec, config, "teleport_coherence")
+    assert first.total_ns == second.total_ns
+    assert first.coherence_messages == second.coherence_messages
+
+
+def test_different_seed_changes_data_not_model():
+    a = generate(scale_factor=1, seed=1).tables["lineitem"]["quantity"]
+    b = generate(scale_factor=1, seed=2).tables["lineitem"]["quantity"]
+    assert len(a) != len(b) or not (a == b).all()
+
+
+@pytest.mark.parametrize("kind", ["local", "ddc", "teleport"])
+def test_platform_construction_is_pure(kind):
+    """Building a platform twice from one config yields identical state."""
+    config = scaled_config(4 * 1024 * 1024)
+    p1 = make_platform(kind, config)
+    p2 = make_platform(kind, config)
+    assert p1.stats.as_dict() == p2.stats.as_dict()
+    assert p1.config == p2.config

@@ -1,0 +1,67 @@
+"""Tests for the distributed DBMS cost model (Figure 1b's reference bars)."""
+
+import pytest
+
+from repro.db.tpch import generate, reference_q6
+from repro.distdb import SPARKSQL, VERTICA, DistributedEngine
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(scale_factor=10, seed=7)
+
+
+def test_distributed_q6_is_exact(dataset):
+    engine = DistributedEngine(SPARKSQL, n_workers=4)
+    value, _distributed, _local = engine.run_q6(dataset)
+    assert value == pytest.approx(reference_q6(dataset))
+
+
+def test_distributed_q6_partitioning_covers_all_workers(dataset):
+    for workers in (1, 3, 8):
+        engine = DistributedEngine(SPARKSQL, n_workers=workers)
+        value, _d, _l = engine.run_q6(dataset)
+        assert value == pytest.approx(reference_q6(dataset))
+
+
+def test_cost_of_scaling_above_one(dataset):
+    for profile in (SPARKSQL, VERTICA):
+        engine = DistributedEngine(profile, n_workers=4)
+        assert engine.cost_of_scaling(dataset) > 1.0
+
+
+def test_sparksql_band_matches_paper(dataset):
+    """Paper: SparkSQL averages ~1.2x cost of scaling."""
+    engine = DistributedEngine(SPARKSQL, n_workers=4)
+    assert 1.05 < engine.cost_of_scaling(dataset) < 1.7
+
+
+def test_vertica_band_matches_paper(dataset):
+    """Paper: Vertica averages ~2.3x cost of scaling."""
+    engine = DistributedEngine(VERTICA, n_workers=4)
+    assert 1.8 < engine.cost_of_scaling(dataset) < 3.0
+
+
+def test_vertica_costlier_than_sparksql(dataset):
+    spark = DistributedEngine(SPARKSQL, n_workers=4).cost_of_scaling(dataset)
+    vertica = DistributedEngine(VERTICA, n_workers=4).cost_of_scaling(dataset)
+    assert vertica > spark
+
+
+def test_bigger_joins_cost_more_to_scale(dataset):
+    engine = DistributedEngine(SPARKSQL, n_workers=4)
+    d9, l9 = engine.run_query(dataset, "q9")
+    d6, l6 = engine.run_query(dataset, "q6")
+    assert d9 / l9 > d6 / l6
+
+
+def test_unknown_query_rejected(dataset):
+    engine = DistributedEngine(SPARKSQL)
+    with pytest.raises(ReproError):
+        engine.run_query(dataset, "q42")
+
+
+def test_needs_at_least_one_worker():
+    with pytest.raises(ReproError):
+        DistributedEngine(SPARKSQL, n_workers=0)

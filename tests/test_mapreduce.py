@@ -1,0 +1,159 @@
+"""Tests for the MapReduce engine, jobs, and corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.ddc import make_platform
+from repro.ddc.phases import PhaseRunner
+from repro.errors import ConfigError, ReproError
+from repro.mapreduce import GrepJob, MapReduceEngine, WordCountJob, make_corpus
+from repro.sim.config import DdcConfig
+from repro.sim.units import KIB, MIB
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_corpus(200_000, vocabulary=5_000, seed=9)
+
+
+@pytest.fixture(scope="module")
+def reference_counts(corpus):
+    return np.bincount(corpus, minlength=5_000)
+
+
+def make_engine(corpus, kind="local", pushdown=(), config=None, **kwargs):
+    platform = make_platform(kind, config or DdcConfig(compute_cache_bytes=1 * MIB))
+    ctx = platform.main_context()
+    return MapReduceEngine(ctx, corpus, pushdown=pushdown, **kwargs), platform
+
+
+class TestTextgen:
+    def test_tokens_in_vocabulary(self, corpus):
+        assert corpus.min() >= 0
+        assert corpus.max() < 5_000
+
+    def test_zipfian_skew(self, reference_counts):
+        # The hottest word is far hotter than the median word.
+        assert reference_counts.max() > 50 * max(1, np.median(reference_counts))
+
+    def test_deterministic(self):
+        assert (make_corpus(1000, seed=1) == make_corpus(1000, seed=1)).all()
+        assert not (make_corpus(1000, seed=1) == make_corpus(1000, seed=2)).all()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            make_corpus(0)
+        with pytest.raises(ConfigError):
+            make_corpus(10, vocabulary=1)
+
+
+class TestWordCount:
+    @pytest.mark.parametrize("kind,pushdown", [
+        ("local", ()),
+        ("ddc", ()),
+        ("teleport", ("map_shuffle",)),
+    ])
+    def test_counts_exact(self, corpus, reference_counts, kind, pushdown):
+        engine, _platform = make_engine(corpus, kind=kind, pushdown=pushdown)
+        counts = engine.run(WordCountJob())
+        assert sum(counts.values()) == len(corpus)
+        for token, expected in enumerate(reference_counts):
+            assert counts.get(token, 0) == expected
+
+    def test_phase_profiles(self, corpus):
+        engine, _platform = make_engine(corpus)
+        engine.run(WordCountJob())
+        assert set(engine.profiles) == {"map_compute", "map_shuffle", "reduce", "merge"}
+        assert engine.profile("map_compute").calls == engine.n_map_tasks
+        assert engine.profile("reduce").calls == engine.n_reducers
+
+    def test_map_shuffle_dominates_on_ddc(self, corpus):
+        """Section 5.3: map-shuffle is ~95% of map time in a DDC."""
+        config = DdcConfig(compute_cache_bytes=256 * KIB)
+        engine, _platform = make_engine(corpus, kind="ddc", config=config)
+        engine.run(WordCountJob())
+        shuffle = engine.profile("map_shuffle").time_ns
+        compute = engine.profile("map_compute").time_ns
+        assert shuffle / (shuffle + compute) > 0.8
+
+
+class TestGrep:
+    @pytest.mark.parametrize("kind", ["local", "teleport"])
+    def test_match_counts_exact(self, corpus, reference_counts, kind):
+        pushdown = ("map_shuffle",) if kind == "teleport" else ()
+        engine, _platform = make_engine(corpus, kind=kind, pushdown=pushdown)
+        pattern = [3, 77, 4999]
+        counts = engine.run(GrepJob(pattern))
+        for token in pattern:
+            assert counts.get(token, 0) == reference_counts[token]
+        assert set(counts) <= set(pattern)
+
+    def test_no_matches(self, corpus):
+        engine, _platform = make_engine(corpus)
+        counts = engine.run(GrepJob([999_999]))
+        assert counts == {}
+
+    def test_grep_shuffles_less_than_wordcount(self, corpus):
+        config = DdcConfig(compute_cache_bytes=256 * KIB)
+        wc_engine, _p1 = make_engine(corpus, kind="ddc", config=config)
+        wc_engine.run(WordCountJob())
+        grep_engine, _p2 = make_engine(corpus, kind="ddc", config=config)
+        grep_engine.run(GrepJob([3, 77]))
+        assert (
+            grep_engine.profile("map_shuffle").time_ns
+            < wc_engine.profile("map_shuffle").time_ns / 2
+        )
+
+
+class TestEngineValidation:
+    def test_needs_positive_tasks(self, corpus):
+        platform = make_platform("local")
+        ctx = platform.main_context()
+        with pytest.raises(ReproError):
+            MapReduceEngine(ctx, corpus, n_map_tasks=0)
+        with pytest.raises(ReproError):
+            MapReduceEngine(ctx, corpus, n_reducers=0)
+
+    def test_single_task_single_reducer(self, corpus, reference_counts):
+        engine, _platform = make_engine(corpus, n_map_tasks=1, n_reducers=1)
+        counts = engine.run(WordCountJob())
+        assert counts.get(0, 0) == reference_counts[0]
+
+    def test_teleport_speedup_over_ddc(self, corpus):
+        config = DdcConfig(compute_cache_bytes=256 * KIB)
+        times = {}
+        for kind, pushdown in [("ddc", ()), ("teleport", ("map_shuffle",))]:
+            engine, _platform = make_engine(corpus, kind=kind, pushdown=pushdown, config=config)
+            engine.run(WordCountJob())
+            times[kind] = engine.total_time_ns()
+        assert times["teleport"] < times["ddc"] / 1.5
+
+
+class TestPhaseRunner:
+    def test_rejects_unknown_phase(self):
+        platform = make_platform("local")
+        ctx = platform.main_context()
+        runner = PhaseRunner(ctx, ("a", "b"))
+        with pytest.raises(ReproError):
+            runner.run("c", lambda c: None)
+        with pytest.raises(ReproError):
+            PhaseRunner(ctx, ("a",), pushdown=("zzz",))
+
+    def test_profile_requires_execution(self):
+        platform = make_platform("local")
+        ctx = platform.main_context()
+        runner = PhaseRunner(ctx, ("a",))
+        with pytest.raises(ReproError):
+            runner.profile("a")
+        runner.run("a", lambda c: c.compute(100))
+        assert runner.profile("a").time_ns > 0
+        assert runner.total_time_ns() == runner.profile("a").time_ns
+
+    def test_pushdown_all_expands(self):
+        platform = make_platform("teleport")
+        ctx = platform.main_context()
+        runner = PhaseRunner(ctx, ("a", "b"), pushdown="all")
+        assert runner.pushdown == {"a", "b"}
+        runner.run("a", lambda c: None)
+        assert platform.stats.pushdown_calls == 1
+        assert runner.profile("a").pushed_down

@@ -1,0 +1,80 @@
+"""Tests for PTEs and sparse page tables."""
+
+from repro.mem.page import PageTableEntry
+from repro.mem.page_table import PageTable
+
+
+def test_pte_defaults_absent():
+    pte = PageTableEntry()
+    assert not pte.present
+    assert pte.permission == "0"
+
+
+def test_pte_permission_symbols():
+    assert PageTableEntry(present=True, writable=True).permission == "W"
+    assert PageTableEntry(present=True, writable=False).permission == "R"
+    assert PageTableEntry(present=False).permission == "0"
+
+
+def test_pte_copy_is_independent():
+    pte = PageTableEntry(present=True, writable=True, dirty=True)
+    other = pte.copy()
+    other.dirty = False
+    assert pte.dirty
+
+
+def test_pte_equality():
+    assert PageTableEntry(True, True) == PageTableEntry(True, True)
+    assert PageTableEntry(True, True) != PageTableEntry(True, False)
+
+
+def test_empty_table():
+    table = PageTable()
+    assert len(table) == 0
+    assert table.get(0) is None
+    assert 0 not in table
+
+
+def test_ensure_creates_absent_entry():
+    table = PageTable()
+    pte = table.ensure(5)
+    assert not pte.present
+    assert table.get(5) is pte
+    assert len(table) == 1
+
+
+def test_map_range():
+    table = PageTable()
+    table.map_range(10, 4, present=True, writable=True)
+    assert len(table) == 4
+    assert table.get(10).present
+    assert table.get(13).writable
+    assert table.get(14) is None
+
+
+def test_unmap_range():
+    table = PageTable()
+    table.map_range(0, 10)
+    table.unmap_range(0, 5)
+    assert len(table) == 5
+    assert table.get(2) is None
+    assert table.get(7) is not None
+
+
+def test_present_and_dirty_vpn_queries():
+    table = PageTable()
+    table.map_range(0, 3, present=True, writable=True)
+    table.ensure(100)  # absent
+    table.get(1).dirty = True
+    assert sorted(table.present_vpns()) == [0, 1, 2]
+    assert table.dirty_vpns() == [1]
+
+
+def test_clone_is_deep():
+    table = PageTable()
+    table.map_range(0, 2, present=True, writable=True)
+    clone = table.clone()
+    clone.get(0).present = False
+    assert table.get(0).present
+    assert not clone.get(0).present
+    assert len(clone) == 2

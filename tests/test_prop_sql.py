@@ -1,0 +1,86 @@
+"""Property-based tests: random SQL queries vs numpy oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import QueryExecutor
+from repro.db.sql import execute_sql
+from repro.db.table import Table
+from repro.ddc import make_platform
+from repro.sim.config import DdcConfig
+from repro.sim.units import KIB
+
+ROWS = 3000
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = np.random.default_rng(61)
+    data = {
+        "k": np.arange(ROWS, dtype=np.int64),
+        "a": rng.integers(0, 100, size=ROWS),
+        "b": np.round(rng.random(ROWS), 3),
+        "g": rng.integers(0, 7, size=ROWS),
+    }
+    platform = make_platform("teleport", DdcConfig(compute_cache_bytes=64 * KIB))
+    process = platform.new_process()
+    tables = {"t": Table.create(process, "t", data)}
+    executor = QueryExecutor(platform.main_context(process), pushdown="all")
+    return executor, tables, data
+
+
+@given(threshold=st.integers(-5, 105))
+@settings(max_examples=40, deadline=None)
+def test_count_matches_mask(env, threshold):
+    executor, tables, data = env
+    result = execute_sql(
+        executor, f"SELECT COUNT(*) AS n FROM t WHERE a < {threshold}", tables
+    )
+    assert result.scalar() == int((data["a"] < threshold).sum())
+
+
+@given(lo=st.integers(0, 100), width=st.integers(0, 50))
+@settings(max_examples=40, deadline=None)
+def test_between_sum(env, lo, width):
+    executor, tables, data = env
+    hi = lo + width
+    result = execute_sql(
+        executor,
+        f"SELECT SUM(b) AS s FROM t WHERE a BETWEEN {lo} AND {hi}",
+        tables,
+    )
+    mask = (data["a"] >= lo) & (data["a"] <= hi)
+    assert result.scalar() == pytest.approx(float(data["b"][mask].sum()), abs=1e-9)
+
+
+@given(
+    threshold=st.integers(0, 100),
+    scale=st.floats(0.5, 3.0, allow_nan=False),
+)
+@settings(max_examples=30, deadline=None)
+def test_grouped_expression_sum(env, threshold, scale):
+    executor, tables, data = env
+    result = execute_sql(
+        executor,
+        f"SELECT SUM(b * {scale:.4f} + 1) AS s FROM t WHERE a >= {threshold} GROUP BY g",
+        tables,
+    )
+    mask = data["a"] >= threshold
+    rows = {row["g"]: row["s"] for row in result.rows()}
+    for group in np.unique(data["g"][mask]):
+        group_mask = mask & (data["g"] == group)
+        expected = float((data["b"][group_mask] * round(scale, 4) + 1).sum())
+        assert rows[int(group)] == pytest.approx(expected, rel=1e-9)
+
+
+@given(values=st.sets(st.integers(0, 100), min_size=1, max_size=6))
+@settings(max_examples=30, deadline=None)
+def test_in_list_count(env, values):
+    executor, tables, data = env
+    literals = ", ".join(str(v) for v in sorted(values))
+    result = execute_sql(
+        executor, f"SELECT COUNT(*) AS n FROM t WHERE a IN ({literals})", tables
+    )
+    assert result.scalar() == int(np.isin(data["a"], sorted(values)).sum())

@@ -1,0 +1,73 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.clock import VirtualClock
+
+
+def test_starts_at_zero_by_default():
+    assert VirtualClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert VirtualClock(42.5).now == 42.5
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ConfigError):
+        VirtualClock(-1.0)
+
+
+def test_advance_accumulates():
+    clock = VirtualClock()
+    clock.advance(10)
+    clock.advance(2.5)
+    assert clock.now == 12.5
+
+
+def test_advance_returns_new_time():
+    clock = VirtualClock(5)
+    assert clock.advance(5) == 10
+
+
+def test_negative_advance_rejected():
+    clock = VirtualClock()
+    with pytest.raises(ConfigError):
+        clock.advance(-0.1)
+
+
+def test_advance_to_moves_forward():
+    clock = VirtualClock(10)
+    clock.advance_to(20)
+    assert clock.now == 20
+
+
+def test_advance_to_never_goes_backwards():
+    clock = VirtualClock(30)
+    clock.advance_to(20)
+    assert clock.now == 30
+
+
+def test_fork_starts_at_parent_time():
+    parent = VirtualClock(17)
+    child = parent.fork()
+    assert child.now == 17
+    child.advance(5)
+    assert parent.now == 17  # independent
+
+
+def test_join_takes_maximum():
+    parent = VirtualClock(0)
+    children = [parent.fork() for _ in range(3)]
+    for i, child in enumerate(children):
+        child.advance(10 * (i + 1))
+    parent.join(children)
+    assert parent.now == 30
+
+
+def test_join_with_slower_children_keeps_parent_time():
+    parent = VirtualClock(100)
+    child = VirtualClock(50)
+    parent.join([child])
+    assert parent.now == 100

@@ -1,0 +1,107 @@
+"""Tests for the DDC configuration and its derived cost helpers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import DdcConfig, scaled_config
+from repro.sim.units import GIB, MIB
+
+
+def test_defaults_match_the_paper_testbed():
+    config = DdcConfig()
+    assert config.page_size == 4096
+    assert config.net_latency_ns == pytest.approx(1200.0)  # 1.2 us
+    assert config.net_bandwidth_bytes_per_ns == pytest.approx(7.0)  # 56 Gbps
+    assert config.compute_clock_ghz == pytest.approx(2.1)
+    assert config.ssd_bandwidth_bytes_per_ns == pytest.approx(3.0)  # 3 GB/s
+
+
+def test_pages_of_rounds_up():
+    config = DdcConfig()
+    assert config.pages_of(1) == 1
+    assert config.pages_of(4096) == 1
+    assert config.pages_of(4097) == 2
+    assert config.pages_of(0) == 0
+
+
+def test_cache_pages_derived_from_bytes():
+    config = DdcConfig(compute_cache_bytes=1 * MIB)
+    assert config.compute_cache_pages == 256
+
+
+def test_remote_fault_batching_amortises_latency():
+    config = DdcConfig()
+    one = config.remote_fault_ns(1)
+    eight = config.remote_fault_ns(8)
+    assert eight < 8 * one
+    # But still strictly more than one fault (the pages must move).
+    assert eight > one
+
+
+def test_remote_fault_much_slower_than_dram():
+    config = DdcConfig()
+    assert config.remote_fault_ns(1) > 10 * config.dram_page_ns
+
+
+def test_ssd_fault_slower_than_remote_memory():
+    # The premise of Figure 1a: remote memory beats SSD spill.
+    config = DdcConfig()
+    assert config.ssd_fault_ns(1, sequential=False) > config.remote_fault_ns(1)
+
+
+def test_ssd_sequential_cheaper_than_random():
+    config = DdcConfig()
+    assert config.ssd_fault_ns(4, sequential=True) < config.ssd_fault_ns(4, sequential=False)
+
+
+def test_cpu_ns_scales_with_clock():
+    config = DdcConfig()
+    assert config.cpu_ns(2100) == pytest.approx(1000.0)
+    assert config.cpu_ns(2100, ghz=1.05) == pytest.approx(2000.0)
+
+
+def test_page_list_message_compression():
+    config = DdcConfig()
+    resident = 262_144  # 1 GiB of 4 KiB pages
+    compressed = config.page_list_message_bytes(resident)
+    assert compressed == pytest.approx(resident * 9 / 20.0, rel=0.01)
+
+
+def test_page_list_message_has_floor():
+    config = DdcConfig()
+    assert config.page_list_message_bytes(0) == 64
+
+
+def test_invalid_values_rejected():
+    with pytest.raises(ConfigError):
+        DdcConfig(page_size=0)
+    with pytest.raises(ConfigError):
+        DdcConfig(net_latency_ns=-1)
+    with pytest.raises(ConfigError):
+        DdcConfig(prefetch_degree=0)
+    with pytest.raises(ConfigError):
+        DdcConfig(memory_pool_cores=0)
+
+
+def test_with_overrides_returns_new_config():
+    config = DdcConfig()
+    throttled = config.with_overrides(memory_clock_ghz=0.4)
+    assert throttled.memory_clock_ghz == pytest.approx(0.4)
+    assert config.memory_clock_ghz == pytest.approx(2.1)
+
+
+def test_scaled_config_keeps_cache_ratio():
+    config = scaled_config(working_set_bytes=1 * GIB, cache_ratio=0.02)
+    assert config.compute_cache_bytes == pytest.approx(0.02 * GIB, rel=0.01)
+
+
+def test_scaled_config_rejects_bad_ratio():
+    with pytest.raises(ConfigError):
+        scaled_config(1 * GIB, cache_ratio=0.0)
+    with pytest.raises(ConfigError):
+        scaled_config(1 * GIB, cache_ratio=1.5)
+
+
+def test_scaled_config_passes_overrides():
+    config = scaled_config(1 * GIB, memory_clock_ghz=1.0)
+    assert config.memory_clock_ghz == pytest.approx(1.0)

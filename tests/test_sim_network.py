@@ -1,0 +1,66 @@
+"""Tests for the RDMA fabric cost model."""
+
+import pytest
+
+from repro.sim.config import DdcConfig
+from repro.sim.network import Network
+from repro.sim.stats import Stats
+
+
+@pytest.fixture
+def net():
+    stats = Stats()
+    return Network(DdcConfig(), stats), stats
+
+
+def test_message_cost_includes_latency_and_bandwidth(net):
+    network, _stats = net
+    config = network.config
+    empty = network.message_ns(0)
+    assert empty == pytest.approx(config.net_latency_ns + config.rpc_software_ns)
+    big = network.message_ns(7000)
+    assert big == pytest.approx(empty + 1000.0)  # 7000 B at 7 B/ns
+
+
+def test_messages_are_counted(net):
+    network, stats = net
+    network.message_ns(100)
+    network.message_ns(50)
+    assert stats.rpc_messages == 2
+    assert stats.network_bytes == 150
+
+
+def test_roundtrip_counts_two_messages(net):
+    network, stats = net
+    network.roundtrip_ns(10, 20)
+    assert stats.rpc_messages == 2
+    assert stats.network_bytes == 30
+
+
+def test_pages_in_batched_cheaper_than_unbatched(net):
+    network, stats = net
+    batched = network.pages_in_ns(8, batched=True)
+    unbatched = network.pages_in_ns(8, batched=False)
+    assert batched < unbatched
+    assert stats.remote_pages_in == 16
+
+
+def test_pages_out_counts_traffic(net):
+    network, stats = net
+    network.pages_out_ns(3)
+    assert stats.remote_pages_out == 3
+    assert stats.network_bytes == 3 * 4096
+
+
+def test_coherence_message_close_to_raw_latency(net):
+    # Paper Section 7.6: average protocol message latency 1.6us vs the
+    # network's raw 1.2us.
+    network, stats = net
+    cost = network.coherence_message_ns()
+    assert cost == pytest.approx(1600.0)
+    assert stats.coherence_messages == 1
+
+
+def test_coherence_message_with_page_costs_more(net):
+    network, _stats = net
+    assert network.coherence_message_ns(with_page=True) > network.coherence_message_ns()

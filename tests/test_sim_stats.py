@@ -1,0 +1,72 @@
+"""Tests for statistics counters and pushdown breakdowns."""
+
+import pytest
+
+from repro.sim.stats import PushdownBreakdown, Stats
+
+
+def test_stats_start_at_zero():
+    stats = Stats()
+    assert stats.cache_hits == 0
+    assert stats.coherence_messages == 0
+    assert stats.pushdown_calls == 0
+
+
+def test_snapshot_is_independent_copy():
+    stats = Stats()
+    snap = stats.snapshot()
+    stats.cache_hits += 5
+    assert snap.cache_hits == 0
+    assert stats.cache_hits == 5
+
+
+def test_delta_measures_interval():
+    stats = Stats()
+    stats.remote_pages_in = 10
+    snap = stats.snapshot()
+    stats.remote_pages_in = 25
+    stats.rpc_messages = 3
+    delta = stats.delta(snap)
+    assert delta.remote_pages_in == 15
+    assert delta.rpc_messages == 3
+
+
+def test_remote_bytes_counts_both_directions():
+    stats = Stats(remote_pages_in=3, remote_pages_out=2)
+    assert stats.remote_bytes(4096) == 5 * 4096
+
+
+def test_merge_adds_counters():
+    a = Stats(cache_hits=1, storage_faults=2)
+    b = Stats(cache_hits=10, coherence_messages=4)
+    a.merge(b)
+    assert a.cache_hits == 11
+    assert a.storage_faults == 2
+    assert a.coherence_messages == 4
+
+
+def test_as_dict_round_trip():
+    stats = Stats(cache_misses=7)
+    assert stats.as_dict()["cache_misses"] == 7
+
+
+def test_breakdown_total_sums_components():
+    breakdown = PushdownBreakdown(
+        pre_sync_ns=1, request_ns=2, queue_wait_ns=3, context_setup_ns=4,
+        function_ns=5, online_sync_ns=6, response_ns=7, post_sync_ns=8,
+    )
+    assert breakdown.total_ns == pytest.approx(36)
+
+
+def test_breakdown_overhead_excludes_function():
+    breakdown = PushdownBreakdown(function_ns=100, request_ns=5, response_ns=5)
+    assert breakdown.overhead_ns == pytest.approx(10)
+
+
+def test_breakdown_merge_accumulates():
+    total = PushdownBreakdown()
+    total.merge(PushdownBreakdown(pre_sync_ns=10, function_ns=1))
+    total.merge(PushdownBreakdown(pre_sync_ns=5, response_ns=2))
+    assert total.pre_sync_ns == pytest.approx(15)
+    assert total.function_ns == pytest.approx(1)
+    assert total.response_ns == pytest.approx(2)

@@ -1,0 +1,337 @@
+"""End-to-end tests for the SQL compiler against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.db import QueryExecutor
+from repro.db.sql import SqlError, compile_sql, execute_sql
+from repro.db.tpch import generate, reference_q6, reference_qfilter
+from repro.ddc import make_platform
+from repro.sim.config import scaled_config
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(scale_factor=2, seed=53)
+
+
+@pytest.fixture(scope="module", params=["local", "teleport"])
+def sql_env(request, dataset):
+    config = scaled_config(dataset.nbytes, cache_ratio=0.02)
+    platform = make_platform(request.param, config)
+    process = platform.new_process()
+    tables = dataset.load_into(process)
+    ctx = platform.main_context(process)
+    pushdown = (
+        ("selection", "projection", "hashjoin", "group") if request.param == "teleport"
+        else None
+    )
+    return QueryExecutor(ctx, pushdown=pushdown), tables
+
+
+class TestScalarAggregates:
+    def test_qfilter(self, sql_env, dataset):
+        executor, tables = sql_env
+        result = execute_sql(
+            executor,
+            "SELECT SUM(quantity) AS total FROM lineitem WHERE shipdate < 1500",
+            tables,
+        )
+        assert result.scalar() == pytest.approx(reference_qfilter(dataset))
+
+    def test_q6_in_sql(self, sql_env, dataset):
+        executor, tables = sql_env
+        result = execute_sql(
+            executor,
+            """
+            SELECT SUM(extendedprice * discount) AS revenue FROM lineitem
+            WHERE shipdate >= 1100 AND shipdate < 1465
+              AND discount BETWEEN 0.05 AND 0.07 AND quantity < 24
+            """,
+            tables,
+        )
+        assert result.scalar("revenue") == pytest.approx(reference_q6(dataset))
+
+    def test_count_star_and_min_max(self, sql_env, dataset):
+        executor, tables = sql_env
+        result = execute_sql(
+            executor,
+            "SELECT COUNT(*) AS n, MIN(quantity) AS lo, MAX(quantity) AS hi "
+            "FROM lineitem WHERE discount > 0.05",
+            tables,
+        )
+        li = dataset.tables["lineitem"]
+        mask = li["discount"] > 0.05
+        assert result.columns["n"] == int(mask.sum())
+        assert result.columns["lo"] == pytest.approx(li["quantity"][mask].min())
+        assert result.columns["hi"] == pytest.approx(li["quantity"][mask].max())
+
+    def test_avg(self, sql_env, dataset):
+        executor, tables = sql_env
+        result = execute_sql(
+            executor, "SELECT AVG(totalprice) AS mean FROM orders", tables
+        )
+        assert result.scalar() == pytest.approx(dataset.tables["orders"]["totalprice"].mean())
+
+    def test_in_list_predicate(self, sql_env, dataset):
+        executor, tables = sql_env
+        result = execute_sql(
+            executor,
+            "SELECT COUNT(*) AS n FROM lineitem WHERE shipmode IN (2, 4)",
+            tables,
+        )
+        li = dataset.tables["lineitem"]
+        assert result.scalar() == int(np.isin(li["shipmode"], [2, 4]).sum())
+
+    def test_not_predicate(self, sql_env, dataset):
+        executor, tables = sql_env
+        result = execute_sql(
+            executor,
+            "SELECT COUNT(*) AS n FROM lineitem WHERE NOT quantity < 25",
+            tables,
+        )
+        li = dataset.tables["lineitem"]
+        assert result.scalar() == int((li["quantity"] >= 25).sum())
+
+
+class TestJoins:
+    def test_two_table_join(self, sql_env, dataset):
+        executor, tables = sql_env
+        result = execute_sql(
+            executor,
+            """
+            SELECT SUM(extendedprice) AS rev FROM lineitem
+            JOIN orders ON lineitem.orderkey = orders.orderkey
+            WHERE orders.orderdate < 1000 AND lineitem.shipdate > 1000
+            """,
+            tables,
+        )
+        li = dataset.tables["lineitem"]
+        orders = dataset.tables["orders"]
+        odate = dict(zip(orders["orderkey"].tolist(), orders["orderdate"].tolist()))
+        expected = sum(
+            float(ep)
+            for ok, sd, ep in zip(li["orderkey"], li["shipdate"], li["extendedprice"])
+            if sd > 1000 and odate[int(ok)] < 1000
+        )
+        assert result.scalar() == pytest.approx(expected)
+
+    def test_three_table_join_grouped(self, sql_env, dataset):
+        executor, tables = sql_env
+        result = execute_sql(
+            executor,
+            """
+            SELECT SUM(extendedprice) AS rev FROM lineitem
+            JOIN orders ON lineitem.orderkey = orders.orderkey
+            JOIN customer ON orders.custkey = customer.custkey
+            WHERE customer.mktsegment = 1
+            GROUP BY customer.nationkey
+            """,
+            tables,
+        )
+        li = dataset.tables["lineitem"]
+        orders = dataset.tables["orders"]
+        cust = dataset.tables["customer"]
+        ocust = dict(zip(orders["orderkey"].tolist(), orders["custkey"].tolist()))
+        cseg = dict(zip(cust["custkey"].tolist(), cust["mktsegment"].tolist()))
+        cnat = dict(zip(cust["custkey"].tolist(), cust["nationkey"].tolist()))
+        expected = {}
+        for ok, ep in zip(li["orderkey"], li["extendedprice"]):
+            ck = ocust[int(ok)]
+            if cseg[ck] == 1:
+                expected[cnat[ck]] = expected.get(cnat[ck], 0.0) + float(ep)
+        rows = {row["nationkey"]: row["rev"] for row in result.rows()}
+        assert set(rows) == set(expected)
+        for nation, value in expected.items():
+            assert rows[nation] == pytest.approx(value)
+
+    def test_multi_column_group_by(self, sql_env, dataset):
+        executor, tables = sql_env
+        result = execute_sql(
+            executor,
+            "SELECT SUM(quantity) AS q FROM lineitem "
+            "GROUP BY returnflag, linestatus",
+            tables,
+        )
+        li = dataset.tables["lineitem"]
+        rows = {(r["returnflag"], r["linestatus"]): r["q"] for r in result.rows()}
+        for rf in np.unique(li["returnflag"]):
+            for ls in np.unique(li["linestatus"]):
+                mask = (li["returnflag"] == rf) & (li["linestatus"] == ls)
+                if mask.any():
+                    assert rows[(rf, ls)] == pytest.approx(li["quantity"][mask].sum())
+
+    def test_grouped_avg(self, sql_env, dataset):
+        executor, tables = sql_env
+        result = execute_sql(
+            executor,
+            "SELECT AVG(quantity) AS mean FROM lineitem GROUP BY returnflag",
+            tables,
+        )
+        li = dataset.tables["lineitem"]
+        rows = {row["returnflag"]: row["mean"] for row in result.rows()}
+        for rf in np.unique(li["returnflag"]):
+            assert rows[rf] == pytest.approx(li["quantity"][li["returnflag"] == rf].mean())
+
+    def test_order_by_limit(self, sql_env, dataset):
+        executor, tables = sql_env
+        result = execute_sql(
+            executor,
+            "SELECT SUM(extendedprice) AS rev FROM lineitem "
+            "GROUP BY orderkey ORDER BY rev DESC LIMIT 3",
+            tables,
+        )
+        li = dataset.tables["lineitem"]
+        totals = {}
+        for ok, ep in zip(li["orderkey"], li["extendedprice"]):
+            totals[int(ok)] = totals.get(int(ok), 0.0) + float(ep)
+        expected = sorted(totals.values(), reverse=True)[:3]
+        got = [row["value"] for row in result.rows()]
+        assert got == pytest.approx(expected)
+
+
+class TestSqlQ3:
+    def test_q3_in_sql_matches_reference(self, sql_env, dataset):
+        """TPC-H Q3 expressed in SQL matches the hand-built plan's answer."""
+        from repro.db.tpch import reference_q3
+
+        executor, tables = sql_env
+        result = execute_sql(
+            executor,
+            """
+            SELECT SUM(extendedprice * (1 - discount)) AS revenue
+            FROM lineitem
+            JOIN orders ON lineitem.orderkey = orders.orderkey
+            JOIN customer ON orders.custkey = customer.custkey
+            WHERE customer.mktsegment = 1
+              AND orders.orderdate < 1200
+              AND lineitem.shipdate > 1200
+            GROUP BY lineitem.orderkey
+            ORDER BY revenue DESC LIMIT 10
+            """,
+            tables,
+        )
+        expected = reference_q3(dataset, segment=1, date=1200, n=10)
+        got = [(row["key"], row["value"]) for row in result.rows()]
+        assert len(got) == len(expected)
+        for (_gk, gv), (_ek, ev) in zip(got, expected):
+            assert gv == pytest.approx(ev)
+
+
+class TestProjectionQueries:
+    def test_select_columns_and_expressions(self, sql_env, dataset):
+        executor, tables = sql_env
+        result = execute_sql(
+            executor,
+            "SELECT quantity, extendedprice * (1 - discount) AS net "
+            "FROM lineitem WHERE shipdate < 300",
+            tables,
+        )
+        li = dataset.tables["lineitem"]
+        mask = li["shipdate"] < 300
+        assert np.allclose(result.columns["quantity"], li["quantity"][mask])
+        expected_net = (li["extendedprice"] * (1 - li["discount"]))[mask]
+        assert np.allclose(result.columns["net"], expected_net)
+        assert len(result.rows()) == int(mask.sum())
+
+
+class TestProjectionOrderBy:
+    def test_order_by_expression_output(self, sql_env, dataset):
+        executor, tables = sql_env
+        result = execute_sql(
+            executor,
+            "SELECT orderkey, totalprice FROM orders "
+            "WHERE orderdate < 200 ORDER BY totalprice DESC",
+            tables,
+        )
+        orders = dataset.tables["orders"]
+        mask = orders["orderdate"] < 200
+        expected = np.sort(orders["totalprice"][mask])[::-1]
+        assert np.allclose(result.columns["totalprice"], expected)
+        # The other column travels with the permutation.
+        by_key = dict(zip(orders["orderkey"], orders["totalprice"]))
+        for row in result.rows()[:20]:
+            assert by_key[row["orderkey"]] == pytest.approx(row["totalprice"])
+
+    def test_order_by_with_limit(self, sql_env, dataset):
+        executor, tables = sql_env
+        result = execute_sql(
+            executor,
+            "SELECT totalprice FROM orders ORDER BY totalprice ASC LIMIT 5",
+            tables,
+        )
+        expected = np.sort(dataset.tables["orders"]["totalprice"])[:5]
+        assert np.allclose(result.columns["totalprice"], expected)
+
+    def test_limit_without_order_rejected_on_projection(self, sql_env):
+        _executor, tables = sql_env
+        with pytest.raises(SqlError):
+            compile_sql("SELECT totalprice FROM orders LIMIT 5", tables)
+
+
+class TestValidation:
+    def test_unknown_table(self, sql_env):
+        executor, tables = sql_env
+        with pytest.raises(SqlError):
+            compile_sql("SELECT a FROM nonexistent", tables)
+
+    def test_unknown_column(self, sql_env):
+        _executor, tables = sql_env
+        with pytest.raises(SqlError):
+            compile_sql("SELECT zorkmid FROM lineitem", tables)
+
+    def test_ambiguous_column(self, sql_env):
+        _executor, tables = sql_env
+        with pytest.raises(SqlError) as excinfo:
+            compile_sql(
+                "SELECT SUM(orderkey) AS s FROM lineitem "
+                "JOIN orders ON lineitem.orderkey = orders.orderkey",
+                tables,
+            )
+        assert "ambiguous" in str(excinfo.value)
+
+    def test_cross_table_conjunct_rejected(self, sql_env):
+        _executor, tables = sql_env
+        with pytest.raises(SqlError):
+            compile_sql(
+                "SELECT COUNT(*) AS n FROM lineitem "
+                "JOIN orders ON lineitem.orderkey = orders.orderkey "
+                "WHERE lineitem.shipdate > orders.orderdate",
+                tables,
+            )
+
+    def test_mixed_select_needs_group_match(self, sql_env):
+        _executor, tables = sql_env
+        with pytest.raises(SqlError):
+            compile_sql("SELECT quantity, SUM(tax) AS t FROM lineitem", tables)
+
+    def test_limit_without_order_rejected(self, sql_env):
+        _executor, tables = sql_env
+        with pytest.raises(SqlError):
+            compile_sql(
+                "SELECT SUM(tax) AS t FROM lineitem GROUP BY shipmode LIMIT 3",
+                tables,
+            )
+
+    def test_order_by_unknown_alias(self, sql_env):
+        _executor, tables = sql_env
+        with pytest.raises(SqlError):
+            compile_sql(
+                "SELECT SUM(tax) AS t FROM lineitem GROUP BY shipmode "
+                "ORDER BY revenue DESC LIMIT 3",
+                tables,
+            )
+
+    def test_join_must_touch_new_table(self, sql_env):
+        _executor, tables = sql_env
+        with pytest.raises(SqlError):
+            compile_sql(
+                "SELECT COUNT(*) AS n FROM lineitem "
+                "JOIN orders ON lineitem.orderkey = lineitem.partkey",
+                tables,
+            )
+
+    def test_nested_aggregate_rejected(self, sql_env):
+        _executor, tables = sql_env
+        with pytest.raises(SqlError):
+            compile_sql("SELECT SUM(quantity) + 1 AS s FROM lineitem", tables)

@@ -1,0 +1,148 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.db.sql import parse
+from repro.db.sql.ast import (
+    Aggregate,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    InList,
+    Literal,
+    NotOp,
+)
+from repro.db.sql.errors import SqlError
+from repro.db.sql.lexer import tokenize
+
+
+class TestLexer:
+    def test_tokens_and_positions(self):
+        tokens = tokenize("SELECT a FROM t")
+        assert [(t.kind, t.text) for t in tokens] == [
+            ("keyword", "SELECT"), ("ident", "a"), ("keyword", "FROM"),
+            ("ident", "t"), ("end", ""),
+        ]
+        assert tokens[1].position == 7
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 .75")
+        assert [t.text for t in tokens[:-1]] == ["1", "2.5", ".75"]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Sum froM")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "SUM", "FROM"]
+
+    def test_operators(self):
+        tokens = tokenize("a<=b >= <> != t.x")
+        assert [t.text for t in tokens[:-1]] == [
+            "a", "<=", "b", ">=", "<>", "!=", "t", ".", "x",
+        ]
+
+    def test_junk_rejected_with_position(self):
+        with pytest.raises(SqlError) as excinfo:
+            tokenize("SELECT a; DROP")
+        assert excinfo.value.position == 8
+
+
+class TestParserStructure:
+    def test_minimal_query(self):
+        query = parse("SELECT a FROM t")
+        assert query.table == "t"
+        assert len(query.select) == 1
+        assert query.select[0].expression == ColumnRef("a")
+        assert not query.is_aggregate_query
+
+    def test_aliases(self):
+        query = parse("SELECT a AS x, b FROM t")
+        assert query.select[0].alias == "x"
+        assert query.select[1].alias is None
+
+    def test_joins(self):
+        query = parse(
+            "SELECT a FROM t JOIN u ON t.k = u.k INNER JOIN v ON u.j = v.j"
+        )
+        assert [join.table for join in query.joins] == ["u", "v"]
+        assert query.joins[0].left == ColumnRef("k", "t")
+        assert query.joins[1].right == ColumnRef("j", "v")
+
+    def test_group_order_limit(self):
+        query = parse(
+            "SELECT SUM(a) AS s FROM t GROUP BY b, c ORDER BY s DESC LIMIT 7"
+        )
+        assert len(query.group_by) == 2
+        assert query.order_by.name == "s"
+        assert query.order_by.descending
+        assert query.limit == 7
+        assert query.is_aggregate_query
+
+    def test_order_by_defaults_ascending(self):
+        query = parse("SELECT SUM(a) AS s FROM t GROUP BY b ORDER BY s")
+        assert not query.order_by.descending
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t WHERE a > 1 banana")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a WHERE a > 1")
+
+
+class TestParserExpressions:
+    def where(self, text):
+        return parse(f"SELECT a FROM t WHERE {text}").where
+
+    def test_precedence_and_over_or(self):
+        node = self.where("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(node, BinaryOp) and node.op == "OR"
+        assert isinstance(node.right, BinaryOp) and node.right.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        node = self.where("a + b * 2 > 1")
+        assert node.op == ">"
+        assert node.left.op == "+"
+        assert node.left.right.op == "*"
+
+    def test_parentheses(self):
+        node = self.where("(a = 1 OR b = 2) AND c = 3")
+        assert node.op == "AND"
+        assert node.left.op == "OR"
+
+    def test_between(self):
+        node = self.where("a BETWEEN 1 AND 5")
+        assert isinstance(node, Between)
+        assert node.low == Literal(1.0)
+        assert node.high == Literal(5.0)
+
+    def test_in_list(self):
+        node = self.where("a IN (1, 2, 3)")
+        assert isinstance(node, InList)
+        assert node.values == (1.0, 2.0, 3.0)
+
+    def test_in_list_negative_values(self):
+        node = self.where("a IN (-1, 2)")
+        assert node.values == (-1.0, 2.0)
+
+    def test_not(self):
+        node = self.where("NOT a = 1")
+        assert isinstance(node, NotOp)
+
+    def test_unary_minus(self):
+        node = self.where("a > -5")
+        assert node.right == BinaryOp("-", Literal(0.0), Literal(5.0))
+
+    def test_qualified_columns(self):
+        node = self.where("t.a = 1")
+        assert node.left == ColumnRef("a", "t")
+
+    def test_aggregates(self):
+        query = parse("SELECT SUM(a * 2) AS s, COUNT(*) AS n, AVG(b) AS m FROM t")
+        funcs = [item.expression.func for item in query.select]
+        assert funcs == ["SUM", "COUNT", "AVG"]
+        assert query.select[1].expression.operand is None
+        assert isinstance(query.select[0].expression, Aggregate)
+
+    def test_limit_requires_number(self):
+        with pytest.raises(SqlError):
+            parse("SELECT SUM(a) AS s FROM t ORDER BY s DESC LIMIT many")

@@ -1,0 +1,138 @@
+"""Tests for exception and fault handling (Section 3.2)."""
+
+import pytest
+
+from repro.ddc import make_platform
+from repro.errors import (
+    KernelPanic,
+    PushdownAborted,
+    PushdownTimeout,
+    RemotePushdownFault,
+)
+from repro.sim.config import DdcConfig
+from repro.sim.units import MIB
+
+from tests.conftest import alloc_floats
+
+
+@pytest.fixture
+def env():
+    platform = make_platform("teleport", DdcConfig(compute_cache_bytes=1 * MIB))
+    process = platform.new_process()
+    region = alloc_floats(process, "data", 100_000)
+    ctx = platform.main_context(process)
+    return platform, process, region, ctx
+
+
+class TestExceptionPropagation:
+    def test_exception_rethrown_at_caller(self, env):
+        _platform, _process, _region, ctx = env
+
+        def buggy(mctx):
+            raise ValueError("boom")
+
+        with pytest.raises(RemotePushdownFault) as excinfo:
+            ctx.pushdown(buggy)
+        assert isinstance(excinfo.value.original, ValueError)
+        assert "boom" in str(excinfo.value)
+
+    def test_segfault_style_errors_also_propagate(self, env):
+        _platform, _process, _region, ctx = env
+
+        def segfault(mctx):
+            return [][5]  # IndexError, the Python analogue
+
+        with pytest.raises(RemotePushdownFault) as excinfo:
+            ctx.pushdown(segfault)
+        assert isinstance(excinfo.value.original, IndexError)
+
+    def test_caller_still_charged_for_failed_pushdown(self, env):
+        _platform, _process, _region, ctx = env
+        before = ctx.now
+        with pytest.raises(RemotePushdownFault):
+            ctx.pushdown(lambda mctx: 1 / 0)
+        assert ctx.now > before
+
+    def test_runtime_usable_after_exception(self, env):
+        _platform, _process, region, ctx = env
+        with pytest.raises(RemotePushdownFault):
+            ctx.pushdown(lambda mctx: 1 / 0)
+        result = ctx.pushdown(lambda mctx: float(mctx.load_slice(region, 0, 100).sum()))
+        assert result == pytest.approx(float(region.array[:100].sum()))
+
+
+class TestTimeoutAndCancel:
+    def test_queued_request_cancelled_on_timeout(self, env):
+        platform, process, region, ctx = env
+        # Occupy the single instance far into the future.
+        platform.teleport.rpc.commit(platform.teleport.rpc.plan(0.0)[0])
+        with pytest.raises(PushdownTimeout) as excinfo:
+            ctx.pushdown(lambda mctx: None, timeout_ns=1e6)
+        assert excinfo.value.cancelled
+        assert platform.stats.pushdown_cancellations == 1
+
+    def test_cancelled_caller_can_run_locally(self, env):
+        platform, _process, region, ctx = env
+        platform.teleport.rpc.commit(platform.teleport.rpc.plan(0.0)[0])
+
+        def fn(c, r):
+            return float(c.load_slice(r, 0, 100).sum())
+
+        try:
+            result = ctx.pushdown(fn, region, timeout_ns=1e6)
+        except PushdownTimeout as timeout:
+            assert timeout.cancelled
+            result = fn(ctx, region)  # fall back to compute-pool execution
+        assert result == pytest.approx(float(region.array[:100].sum()))
+
+    def test_running_request_is_not_cancelled(self, env):
+        """The memory pool declines to cancel running requests; the caller
+        waits for completion instead (Section 3.2)."""
+        platform, _process, region, ctx = env
+        # The timeout fires mid-execution: the request started immediately
+        # (no queueing), so there is nothing to cancel and the call
+        # completes normally.
+        result = ctx.pushdown(
+            lambda mctx: (mctx.compute(10_000_000), 42)[1], timeout_ns=1e6
+        )
+        assert result == 42
+        assert platform.stats.pushdown_cancellations == 0
+
+
+class TestWatchdog:
+    def test_wedged_function_killed(self, env):
+        platform, _process, _region, ctx = env
+        watchdog = platform.config.watchdog_timeout_ns
+
+        def wedged(mctx):
+            mctx.charge_ns(watchdog * 2)
+
+        with pytest.raises(PushdownAborted):
+            ctx.pushdown(wedged)
+        assert platform.stats.pushdown_aborts == 1
+
+    def test_abort_frees_the_instance(self, env):
+        platform, _process, region, ctx = env
+        watchdog = platform.config.watchdog_timeout_ns
+        with pytest.raises(PushdownAborted):
+            ctx.pushdown(lambda mctx: mctx.charge_ns(watchdog * 2))
+        # The next pushdown runs without queueing behind the zombie.
+        result = ctx.pushdown(lambda mctx: "alive")
+        assert result == "alive"
+        assert platform.teleport.breakdowns[-1].queue_wait_ns < watchdog
+
+
+class TestMemoryPoolFailure:
+    def test_failure_triggers_kernel_panic(self, env):
+        platform, _process, _region, ctx = env
+        platform.teleport.fail_memory_pool()
+        with pytest.raises(KernelPanic):
+            ctx.pushdown(lambda mctx: None)
+
+    def test_detection_charged_one_heartbeat_interval(self, env):
+        platform, _process, _region, ctx = env
+        platform.teleport.fail_memory_pool()
+        before = ctx.now
+        with pytest.raises(KernelPanic):
+            ctx.pushdown(lambda mctx: None)
+        assert ctx.now - before == pytest.approx(platform.config.heartbeat_interval_ns)
