@@ -129,6 +129,14 @@ class TeleportPlatform(DdcPlatform):
 
         self.teleport = TeleportRuntime(self)
 
+    def inject_faults(self, plan):
+        """Arm a :class:`~repro.faults.plan.FaultPlan` on this platform.
+
+        Returns the :class:`~repro.faults.injector.FaultInjector` so tests
+        and experiments can inspect per-kind injection counts.
+        """
+        return self.teleport.install_faults(plan)
+
 
 _PLATFORMS = {
     "local": LocalPlatform,

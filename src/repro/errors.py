@@ -43,6 +43,16 @@ class PushdownAborted(PushdownError):
     """Buggy pushdown code was killed by the memory pool's watchdog."""
 
 
+class PushdownRetryExhausted(PushdownError):
+    """Bounded retransmission gave up: the request (or its response) kept
+    getting lost on the fabric.
+
+    The request IDs of the retry layer guarantee at-most-once execution:
+    when the *response* is lost the function has run exactly once and its
+    result is gone; when the *request* is lost it never ran at all.
+    """
+
+
 class RemotePushdownFault(PushdownError):
     """The pushed function raised; the exception is rethrown at the caller.
 

@@ -1,0 +1,58 @@
+"""Deterministic fault injection and recovery machinery (Section 3.2).
+
+The paper devotes a subsection to exception and fault handling — timeouts
+with ``try_cancel`` and local re-execution, a watchdog that kills wedged
+pushdowns, and heartbeat-based failure detection. This package supplies
+the other half of that story for the simulated fabric:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — declarative, seeded fault
+  scenarios (message drops, delays, transient RPC failures, memory-pool
+  slowdown, transient partitions, hard death) over virtual-time windows;
+* :class:`FaultInjector` — evaluates a plan at the runtime's and
+  network's hook points, with a single seeded RNG so every run is
+  reproducible;
+* :class:`RetryPolicy` — bounded retransmission with capped exponential
+  backoff + jitter, charged to the caller's virtual clock;
+* :class:`CircuitBreaker` — per-process breaker that routes operators to
+  the compute pool after consecutive infrastructure failures;
+* :class:`HeartbeatDetector` — k-miss suspicion, lease-based recovery
+  from transient partitions, kernel panic only on confirmed loss.
+
+Install a plan with ``platform.teleport.install_faults(plan)`` (or the
+``TeleportPlatform.inject_faults`` convenience) and run any workload
+unchanged.
+"""
+
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.detector import HeartbeatDetector
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    crash,
+    degrade,
+    delay_messages,
+    drop_requests,
+    drop_responses,
+    partition,
+    rpc_faults,
+)
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "HeartbeatDetector",
+    "RetryPolicy",
+    "crash",
+    "degrade",
+    "delay_messages",
+    "drop_requests",
+    "drop_responses",
+    "partition",
+    "rpc_faults",
+]

@@ -1,0 +1,70 @@
+"""Retransmission policy: bounded retries with exponential backoff + jitter.
+
+The shape follows production retry layers (capped exponential backoff with
+a multiplicative jitter band); here the backoff is charged to the caller's
+*virtual* clock and the jitter draw comes from the fault injector's seeded
+RNG, so retry timing is exactly reproducible.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retransmission with capped exponential backoff."""
+
+    #: Total transmissions allowed per message (first send + retries).
+    max_attempts: int = 4
+    #: How long the caller waits for an ack before declaring a loss.
+    retransmit_timeout_ns: float = 100_000.0
+    #: Backoff before the first retransmission.
+    backoff_base_ns: float = 50_000.0
+    #: Growth factor per further retransmission.
+    backoff_multiplier: float = 2.0
+    #: Upper bound on any single backoff.
+    backoff_max_ns: float = 10_000_000.0
+    #: Jitter band as a fraction of the backoff (0.2 = +/-20%).
+    jitter: float = 0.2
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.retransmit_timeout_ns < 0:
+            raise ConfigError("retransmit_timeout_ns must be non-negative")
+        if self.backoff_base_ns < 0 or self.backoff_max_ns < 0:
+            raise ConfigError("backoff bounds must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    @classmethod
+    def from_config(cls, config):
+        """Build the policy from a :class:`~repro.sim.config.DdcConfig`."""
+        return cls(
+            max_attempts=config.retry_max_attempts,
+            retransmit_timeout_ns=config.retransmit_timeout_ns,
+            backoff_base_ns=config.retry_backoff_ns,
+            backoff_multiplier=config.retry_backoff_multiplier,
+            backoff_max_ns=config.retry_backoff_max_ns,
+            jitter=config.retry_jitter,
+        )
+
+    def backoff_ns(self, retry, rng=None):
+        """Backoff before retransmission number ``retry`` (1-based).
+
+        With an ``rng`` the value is jittered uniformly within
+        ``+/- jitter * backoff``; without one it is the deterministic
+        midpoint.
+        """
+        if retry < 1:
+            return 0.0
+        raw = self.backoff_base_ns * self.backoff_multiplier ** (retry - 1)
+        raw = min(raw, self.backoff_max_ns)
+        if rng is not None and self.jitter > 0.0:
+            raw *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return raw

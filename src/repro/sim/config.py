@@ -116,6 +116,34 @@ class DdcConfig:
     #: Interval of the compute-pool heartbeat thread that detects memory
     #: pool failure.
     heartbeat_interval_ns: float = 10.0 * 1e6
+    #: Consecutive missed heartbeats before memory-pool loss is *confirmed*
+    #: (kernel panic); fewer misses are mere suspicion, recoverable when a
+    #: transient partition heals and the lease is renewed.
+    heartbeat_miss_threshold: int = 3
+
+    # ------------------------------------------------------------------
+    # Fault handling & recovery (repro.faults, Section 3.2)
+    # ------------------------------------------------------------------
+    #: Total transmissions allowed per pushdown request/response before the
+    #: retry layer gives up (first send + retries).
+    retry_max_attempts: int = 4
+    #: How long the caller waits for an ack before declaring a message lost.
+    retransmit_timeout_ns: float = 100_000.0
+    #: Backoff before the first retransmission (doubles per retry).
+    retry_backoff_ns: float = 50_000.0
+    #: Growth factor of the retransmission backoff.
+    retry_backoff_multiplier: float = 2.0
+    #: Cap on any single retransmission backoff.
+    retry_backoff_max_ns: float = 10_000_000.0
+    #: Jitter band of the backoff as a fraction (0.2 = +/-20%), drawn from
+    #: the fault injector's seeded RNG.
+    retry_jitter: float = 0.2
+    #: Consecutive pushdown infrastructure failures (timeouts, retry
+    #: exhaustion, watchdog aborts) that trip the per-process circuit
+    #: breaker; tripped operators run on the compute pool instead.
+    breaker_failure_threshold: int = 3
+    #: Virtual time the breaker stays open before allowing one probe.
+    breaker_cooldown_ns: float = 50_000_000.0
     #: Extra scheduling penalty per runnable context beyond physical cores
     #: (fraction of CPU time; drives Figure 17's diminishing returns).
     context_switch_penalty: float = 0.12
@@ -172,6 +200,24 @@ class DdcConfig:
             raise ConfigError("prefetch_degree must be at least 1")
         if self.ssd_readahead_pages < 1:
             raise ConfigError("ssd_readahead_pages must be at least 1")
+        if self.heartbeat_miss_threshold < 1:
+            raise ConfigError("heartbeat_miss_threshold must be at least 1")
+        if self.retry_max_attempts < 1:
+            raise ConfigError("retry_max_attempts must be at least 1")
+        if self.breaker_failure_threshold < 1:
+            raise ConfigError("breaker_failure_threshold must be at least 1")
+        if self.retry_backoff_multiplier < 1.0:
+            raise ConfigError("retry_backoff_multiplier must be at least 1")
+        if not 0.0 <= self.retry_jitter < 1.0:
+            raise ConfigError("retry_jitter must be in [0, 1)")
+        for name, value in {
+            "retransmit_timeout_ns": self.retransmit_timeout_ns,
+            "retry_backoff_ns": self.retry_backoff_ns,
+            "retry_backoff_max_ns": self.retry_backoff_max_ns,
+            "breaker_cooldown_ns": self.breaker_cooldown_ns,
+        }.items():
+            if value < 0:
+                raise ConfigError(f"{name} must be non-negative, got {value}")
 
     # ------------------------------------------------------------------
     # Derived helpers

@@ -11,19 +11,35 @@ order (enforced using reliable RDMA connections)".
 class Network:
     """Cost model of the RDMA fabric connecting the resource pools."""
 
-    def __init__(self, config, stats):
+    def __init__(self, config, stats, injector=None):
         self.config = config
         self.stats = stats
+        #: Optional :class:`~repro.faults.injector.FaultInjector`; when set,
+        #: messages may pay extra congestion latency (DELAY faults).
+        self.injector = injector
 
-    def message_ns(self, nbytes=0):
-        """Charge one message of ``nbytes`` payload; return its cost."""
+    def message_ns(self, nbytes=0, now=None):
+        """Charge one message of ``nbytes`` payload; return its cost.
+
+        ``now`` (virtual send time) lets the fault injector apply
+        time-windowed congestion delays; without it only always-on delay
+        faults apply.
+        """
         self.stats.rpc_messages += 1
         self.stats.network_bytes += int(nbytes)
-        return self.config.net_message_ns(nbytes)
+        cost = self.config.net_message_ns(nbytes)
+        if self.injector is not None:
+            extra = self.injector.message_delay_ns(now)
+            if extra > 0.0:
+                self.stats.messages_delayed += 1
+                cost += extra
+        return cost
 
-    def roundtrip_ns(self, request_bytes=0, response_bytes=0):
+    def roundtrip_ns(self, request_bytes=0, response_bytes=0, now=None):
         """Charge a request/response pair; return total cost."""
-        return self.message_ns(request_bytes) + self.message_ns(response_bytes)
+        return self.message_ns(request_bytes, now=now) + self.message_ns(
+            response_bytes, now=now
+        )
 
     def pages_in_ns(self, npages, batched=True):
         """Charge fetching ``npages`` from memory pool to compute pool.

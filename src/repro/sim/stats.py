@@ -45,6 +45,19 @@ class Stats:
     syncmem_calls: int = 0
     memory_side_page_touches: int = 0
 
+    # Fault injection and recovery (repro.faults, Section 3.2).
+    faults_injected: int = 0
+    messages_dropped: int = 0
+    messages_delayed: int = 0
+    pushdown_retries: int = 0
+    pushdown_timeouts: int = 0
+    pushdown_fallbacks: int = 0
+    pushdown_dedup_hits: int = 0
+    heartbeat_suspicions: int = 0
+    heartbeat_recoveries: int = 0
+    breaker_trips: int = 0
+    breaker_short_circuits: int = 0
+
     def remote_bytes(self, page_size):
         """Total bytes of page traffic over the fabric."""
         return (self.remote_pages_in + self.remote_pages_out) * page_size

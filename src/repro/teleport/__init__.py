@@ -21,7 +21,12 @@ temporary context's page table.
 """
 
 from repro.teleport.coherence import CoherenceProtocol
-from repro.teleport.flags import ConsistencyMode, PushdownOptions, SyncMethod
+from repro.teleport.flags import (
+    ConsistencyMode,
+    PushdownOptions,
+    SyncMethod,
+    TimeoutAction,
+)
 from repro.teleport.rpc import RpcServer
 from repro.teleport.runtime import TeleportRuntime
 
@@ -32,4 +37,5 @@ __all__ = [
     "RpcServer",
     "SyncMethod",
     "TeleportRuntime",
+    "TimeoutAction",
 ]

@@ -42,6 +42,27 @@ class SyncMethod(enum.Enum):
     EAGER_REGIONS = "eager_regions"
 
 
+class TimeoutAction(enum.Enum):
+    """What the caller does when ``timeout_ns`` expires (Section 3.2).
+
+    On expiry the caller issues ``try_cancel``. Cancellation *succeeds* if
+    the request was still queued or the function was still running when the
+    cancel arrived, and *fails* if the function completed first.
+    """
+
+    #: Default: raise :class:`~repro.errors.PushdownTimeout`, with
+    #: ``cancelled`` reporting the try_cancel outcome. The caller decides
+    #: whether to re-run the function locally.
+    RAISE = "raise"
+    #: Cancel success -> automatically re-execute the function on the
+    #: compute pool (requires an idempotent function, as does the paper's
+    #: cancel-then-run-locally recipe); cancel failure -> accept the late
+    #: remote result.
+    FALLBACK = "fallback"
+    #: Never cancel: ignore the expiry and wait for the remote result.
+    WAIT = "wait"
+
+
 @dataclass(frozen=True)
 class PushdownOptions:
     """Bundle of per-call pushdown options (the syscall's ``flags``)."""
@@ -52,6 +73,8 @@ class PushdownOptions:
     timeout_ns: float | None = None
     #: Regions to flush/evict for SyncMethod.EAGER_REGIONS.
     sync_regions: tuple = ()
+    #: Reaction to an expired timeout (try_cancel semantics).
+    on_timeout: TimeoutAction = TimeoutAction.RAISE
 
     DEFAULT = None  # set below
 

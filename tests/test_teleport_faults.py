@@ -11,6 +11,7 @@ from repro.errors import (
 )
 from repro.sim.config import DdcConfig
 from repro.sim.units import MIB
+from repro.teleport.flags import PushdownOptions, TimeoutAction
 
 from tests.conftest import alloc_floats
 
@@ -85,18 +86,82 @@ class TestTimeoutAndCancel:
             result = fn(ctx, region)  # fall back to compute-pool execution
         assert result == pytest.approx(float(region.array[:100].sum()))
 
-    def test_running_request_is_not_cancelled(self, env):
-        """The memory pool declines to cancel running requests; the caller
-        waits for completion instead (Section 3.2)."""
-        platform, _process, region, ctx = env
-        # The timeout fires mid-execution: the request started immediately
-        # (no queueing), so there is nothing to cancel and the call
-        # completes normally.
+    def test_midexec_timeout_cancels_running_function(self, env):
+        """A timeout that expires mid-execution issues try_cancel; the
+        cancel arrives while the function is still running, so cancellation
+        succeeds (Section 3.2)."""
+        platform, _process, _region, ctx = env
+        with pytest.raises(PushdownTimeout) as excinfo:
+            ctx.pushdown(
+                lambda c: (c.compute(10_000_000), 42)[1], timeout_ns=1e6
+            )
+        assert excinfo.value.cancelled
+        assert platform.stats.pushdown_timeouts == 1
+        assert platform.stats.pushdown_cancellations == 1
+        # The caller is charged through the timeout instant plus the cancel
+        # round trip — never the full 10ms the function would have taken.
+        assert ctx.now >= 1e6
+        assert ctx.now < 10e6
+
+    def test_midexec_timeout_wait_action_accepts_late_result(self, env):
+        platform, _process, _region, ctx = env
         result = ctx.pushdown(
-            lambda mctx: (mctx.compute(10_000_000), 42)[1], timeout_ns=1e6
+            lambda c: (c.compute(10_000_000), 42)[1],
+            timeout_ns=1e6,
+            on_timeout=TimeoutAction.WAIT,
         )
         assert result == 42
         assert platform.stats.pushdown_cancellations == 0
+        # The caller waited for the full remote execution (~4.8ms at the
+        # memory pool's clock), far past the 1ms timeout.
+        assert ctx.now > 4e6
+
+    def test_midexec_timeout_fallback_reexecutes_locally(self, env):
+        platform, _process, region, ctx = env
+
+        def fn(c):
+            c.compute(10_000_000)
+            return float(c.load_slice(region, 0, 100).sum())
+
+        result = ctx.pushdown(fn, timeout_ns=1e6, on_timeout=TimeoutAction.FALLBACK)
+        assert result == pytest.approx(float(region.array[:100].sum()))
+        assert platform.stats.pushdown_cancellations == 1
+        assert platform.stats.pushdown_fallbacks == 1
+
+    def test_cancel_fails_when_function_finishes_first(self, env):
+        """try_cancel loses the race: the function completes just after the
+        timeout but before the cancel message arrives."""
+        platform, _process, _region, ctx = env
+        session = platform.teleport.begin_session(
+            ctx, PushdownOptions(timeout_ns=1e6)
+        )
+        # Finish a whisker past the timeout — the in-flight cancel cannot
+        # beat the completion.
+        session.mem_thread.clock.advance_to(1e6 + 10.0)
+        with pytest.raises(PushdownTimeout) as excinfo:
+            session.finish()
+        assert not excinfo.value.cancelled
+        assert platform.stats.pushdown_timeouts == 1
+        assert platform.stats.pushdown_cancellations == 0
+
+    def test_fallback_accepts_late_result_when_cancel_fails(self, env):
+        platform, _process, _region, ctx = env
+        session = platform.teleport.begin_session(
+            ctx, PushdownOptions(timeout_ns=1e6, on_timeout=TimeoutAction.FALLBACK)
+        )
+        session.mem_thread.clock.advance_to(1e6 + 10.0)
+        session.finish()  # no raise: the late remote result is accepted
+        assert not session.fallback_pending
+        assert platform.stats.pushdown_timeouts == 1
+
+    def test_timeout_paths_release_coherence_protocol(self, env):
+        platform, process, _region, ctx = env
+        with pytest.raises(PushdownTimeout):
+            ctx.pushdown(lambda c: c.compute(10_000_000), timeout_ns=1e6)
+        compkernel, _memkernel = platform.kernels_for(process)
+        assert compkernel.protocol is None
+        protocol = platform.teleport._protocols.get(process.pid)
+        assert protocol is None or protocol.refcount == 0
 
 
 class TestWatchdog:
@@ -129,10 +194,42 @@ class TestMemoryPoolFailure:
         with pytest.raises(KernelPanic):
             ctx.pushdown(lambda mctx: None)
 
-    def test_detection_charged_one_heartbeat_interval(self, env):
+    def test_detection_waits_for_k_missed_heartbeats(self, env):
+        """Loss is confirmed only after ``heartbeat_miss_threshold``
+        consecutive misses; the detection latency is charged to the first
+        syscall that observes the failure."""
         platform, _process, _region, ctx = env
         platform.teleport.fail_memory_pool()
+        k = platform.config.heartbeat_miss_threshold
+        interval = platform.config.heartbeat_interval_ns
         before = ctx.now
         with pytest.raises(KernelPanic):
             ctx.pushdown(lambda mctx: None)
-        assert ctx.now - before == pytest.approx(platform.config.heartbeat_interval_ns)
+        assert ctx.now - before == pytest.approx(k * interval)
+
+    def test_detection_latency_charged_only_once(self, env):
+        """Later syscalls see the already-confirmed panic and are not
+        re-charged the detection latency (satellite fix: the old code
+        charged every caller a full heartbeat interval)."""
+        platform, _process, _region, ctx = env
+        platform.teleport.fail_memory_pool()
+        with pytest.raises(KernelPanic):
+            ctx.pushdown(lambda mctx: None)
+        after_first = ctx.now
+        with pytest.raises(KernelPanic):
+            ctx.pushdown(lambda mctx: None)
+        assert ctx.now == pytest.approx(after_first)
+
+    def test_confirmed_loss_releases_all_protocols(self, env):
+        """No orphaned coherence state survives a kernel panic."""
+        platform, process, _region, ctx = env
+        # Leave a session in flight so a live protocol exists at panic time.
+        session = platform.teleport.begin_session(ctx, PushdownOptions())
+        assert platform.teleport._protocols[process.pid].refcount == 1
+        platform.teleport.fail_memory_pool(at_ns=ctx.now)
+        with pytest.raises(KernelPanic):
+            ctx.pushdown(lambda mctx: None)
+        compkernel, _memkernel = platform.kernels_for(process)
+        assert compkernel.protocol is None
+        assert platform.teleport._protocols == {}
+        assert session.protocol.refcount == 0
