@@ -1,0 +1,39 @@
+"""Static analysis and runtime sanitizers for the TELEPORT reproduction.
+
+Three layers of machine-checked enforcement of the invariants the rest of
+the library assumes (ISSUE 3; see DESIGN.md §6):
+
+* :mod:`repro.analysis.verifier` — static verification of functions passed
+  to ``pushdown(fn, ...)`` (``PD1xx`` rules), optionally enforced at call
+  time via ``pushdown(..., verify=True)``;
+* :mod:`repro.analysis.lint` — the repo-wide determinism/invariant lint
+  pass (``LNT1xx`` rules), run as ``python -m repro.analysis.lint src/repro``;
+* :mod:`repro.analysis.sanitizers` — runtime SWMR / clock / leak
+  sanitizers, enabled per platform (``DdcConfig(sanitizers=True)``) or
+  process-wide (``pytest --sanitize``).
+
+Shared rule catalog and diagnostics live in :mod:`repro.analysis.rules`
+and :mod:`repro.analysis.diagnostics`.
+"""
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules import RULES, Rule
+from repro.analysis.sanitizers import SanitizerSuite, sanitized
+from repro.analysis.verifier import (
+    assert_pushdownable,
+    is_pushdownable,
+    verify_callable,
+    verify_node,
+)
+
+__all__ = [
+    "Diagnostic",
+    "RULES",
+    "Rule",
+    "SanitizerSuite",
+    "assert_pushdownable",
+    "is_pushdownable",
+    "sanitized",
+    "verify_callable",
+    "verify_node",
+]

@@ -1,0 +1,115 @@
+"""Structured diagnostics and suppression handling.
+
+A :class:`Diagnostic` is one finding of the verifier or the lint pass:
+a stable rule ID, a location, and a message. Findings are plain data so
+callers (the ``verify=`` flag, the lint CLI, tests, CI) can filter and
+format them however they need.
+
+Suppressions are source comments of the form
+``# lint: disable=<rule-id>[,<rule-id>...]`` appended to the offending
+line (placeholders spelled out here so this very docstring is not parsed
+as a suppression). A suppression applies to findings on its own line. Stale suppressions —
+comments that silence nothing — are themselves reported (rule LNT900),
+so the suppression inventory can never silently outlive the violations
+it was written for.
+"""
+
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.rules import RULES
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: rule, location, and human-readable message."""
+
+    rule: str
+    message: str
+    path: str = "<unknown>"
+    line: int = 0
+    col: int = 0
+    severity: str = "error"
+
+    @property
+    def slug(self):
+        """Short rule slug (e.g. ``wall-clock``) for compact output."""
+        rule = RULES.get(self.rule)
+        return rule.slug if rule is not None else self.rule
+
+    def format(self):
+        """``path:line:col: ID (slug) message`` — editor-clickable."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} ({self.slug}) {self.message}"
+        )
+
+    def __str__(self):
+        return self.format()
+
+
+_SUPPRESSION_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def parse_suppressions(source):
+    """Map line number -> set of rule IDs suppressed on that line."""
+    suppressions = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_RE.search(line)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        if rules:
+            suppressions[lineno] = rules
+    return suppressions
+
+
+@dataclass
+class SuppressionLedger:
+    """Tracks which suppressions actually fired (for LNT900)."""
+
+    by_line: dict
+    used: set = field(default_factory=set)
+
+    @classmethod
+    def for_source(cls, source):
+        return cls(by_line=parse_suppressions(source))
+
+    def covers(self, diagnostic):
+        """True (and record usage) when the finding's line suppresses its rule."""
+        rules = self.by_line.get(diagnostic.line)
+        if rules is None or diagnostic.rule not in rules:
+            return False
+        self.used.add((diagnostic.line, diagnostic.rule))
+        return True
+
+    def unused(self):
+        """(line, rule) pairs whose suppression silenced nothing."""
+        stale = []
+        for lineno, rules in sorted(self.by_line.items()):
+            for rule in sorted(rules):
+                if (lineno, rule) not in self.used:
+                    stale.append((lineno, rule))
+        return stale
+
+
+def apply_suppressions(diagnostics, source, path="<unknown>"):
+    """Filter findings through the source's suppression comments.
+
+    Returns the surviving findings, plus one LNT900 finding per stale
+    suppression — suppressions must stay exactly as live as the
+    violations they cover.
+    """
+    ledger = SuppressionLedger.for_source(source)
+    kept = [d for d in diagnostics if not ledger.covers(d)]
+    for lineno, rule in ledger.unused():
+        kept.append(
+            Diagnostic(
+                rule="LNT900",
+                message=f"suppression of {rule} matches no finding on this line",
+                path=path,
+                line=lineno,
+            )
+        )
+    kept.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return kept

@@ -1,0 +1,164 @@
+"""The repo-wide lint pass: ``python -m repro.analysis.lint src/repro``.
+
+Walks the given files/directories, parses every ``.py`` file, and runs the
+registered :mod:`repro.analysis.checkers` over each, enforcing the
+codebase's determinism and invariant rules (stable ``LNT1xx`` IDs).
+
+Findings can be silenced per line with ``# lint: disable=<RULE>[,<RULE>]``;
+a suppression that silences nothing is itself a finding (``LNT900``), and
+the wall-clock allowlist names exact functions, so neither the allowlist
+nor the suppression inventory can rot: removing any entry that is no
+longer needed keeps the pass green, removing one that *is* needed fails CI.
+
+Exit status: 0 when clean, 1 when any finding survives suppression.
+"""
+
+import argparse
+import ast
+import pathlib
+import sys
+
+from repro.analysis.checkers import CHECKERS, FileContext
+from repro.analysis.diagnostics import Diagnostic, apply_suppressions
+from repro.analysis.rules import RULES
+
+#: The wall-clock allowlist: (path suffix, function qualname) pairs.
+#: Exactly one entry — the bench harness's wall timer (the only legitimate
+#: consumer of host time in src/repro, used to report how long a figure
+#: reproduction took, never to compute a simulated result).
+DEFAULT_ALLOWLIST = (
+    ("repro/bench/timing.py", "wall_timer"),
+)
+
+
+def iter_python_files(paths):
+    """Expand files/directories into a sorted list of ``.py`` paths."""
+    files = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def _parse(path, source):
+    try:
+        return ast.parse(source), None
+    except SyntaxError as exc:
+        return None, Diagnostic(
+            rule="LNT001",
+            message=f"file does not parse: {exc.msg}",
+            path=str(path),
+            line=exc.lineno or 0,
+            col=exc.offset or 0,
+        )
+
+
+def collect_frozen_classes(files):
+    """Pass 1: names of ``@dataclass(frozen=True)`` classes in the tree."""
+    frozen = set()
+    for path in files:
+        try:
+            tree = ast.parse(path.read_text())
+        except (OSError, SyntaxError):
+            continue
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and _has_frozen_decorator(node):
+                frozen.add(node.name)
+    return frozenset(frozen)
+
+
+def _has_frozen_decorator(node):
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        name = decorator.func
+        dotted = []
+        while isinstance(name, ast.Attribute):
+            dotted.append(name.attr)
+            name = name.value
+        if isinstance(name, ast.Name):
+            dotted.append(name.id)
+        if "dataclass" not in dotted:
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "frozen"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+def lint_file(path, *, allowlist, frozen_classes, honor_suppressions=True):
+    """All findings for one file (after suppression filtering)."""
+    source = pathlib.Path(path).read_text()
+    tree, parse_error = _parse(path, source)
+    if parse_error is not None:
+        return [parse_error]
+    ctx = FileContext(
+        path=str(path), allowlist=tuple(allowlist), frozen_classes=frozen_classes
+    )
+    for checker_cls in CHECKERS:
+        checker_cls(ctx).run(tree)
+    if not honor_suppressions:
+        ctx.diagnostics.sort(key=lambda d: (d.line, d.col, d.rule))
+        return ctx.diagnostics
+    return apply_suppressions(ctx.diagnostics, source, path=str(path))
+
+
+def run_lint(paths, allowlist=DEFAULT_ALLOWLIST, honor_suppressions=True):
+    """Lint files/directories; returns every surviving finding."""
+    files = iter_python_files(paths)
+    frozen_classes = collect_frozen_classes(files)
+    diagnostics = []
+    for path in files:
+        diagnostics.extend(
+            lint_file(
+                path,
+                allowlist=allowlist,
+                frozen_classes=frozen_classes,
+                honor_suppressions=honor_suppressions,
+            )
+        )
+    return diagnostics
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Enforce the codebase's determinism and invariant rules.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint (default: src/repro)")
+    parser.add_argument("--no-suppressions", action="store_true",
+                        help="ignore '# lint: disable=...' comments")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            rule = RULES[rule_id]
+            print(f"{rule.id}  {rule.slug:22s} {rule.summary}")
+        return 0
+
+    diagnostics = run_lint(
+        args.paths or ["src/repro"],
+        honor_suppressions=not args.no_suppressions,
+    )
+    for diagnostic in diagnostics:
+        print(diagnostic.format())
+    n_files = len(iter_python_files(args.paths or ["src/repro"]))
+    if diagnostics:
+        print(f"{len(diagnostics)} finding(s) in {n_files} file(s)")
+        return 1
+    print(f"clean: {n_files} file(s), 0 findings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,185 @@
+"""Runtime invariant sanitizers.
+
+Three always-valid invariants of the simulation, checked continuously when
+enabled (they are assumptions everywhere else, so a violation is always a
+library bug):
+
+* **SWMR sanitizer** — the Single-Writer-Multiple-Reader invariant of the
+  coherence protocol (paper Figures 8–9), promoted from the per-test
+  ``CoherenceProtocol.check_swmr`` spot check to a check after *every*
+  protocol transition.
+* **Clock sanitizer** — virtual clocks advance by finite, non-negative
+  amounts and never move backwards. (``VirtualClock`` already rejects
+  negative deltas, but NaN compares false against everything and would
+  silently poison every downstream timestamp.)
+* **Leak sanitizer** — a finished :class:`PushdownSession` leaves nothing
+  behind: once the protocol refcount hits zero, the temporary context's
+  page table ``t_mm`` is torn down, the in-flight upgrade map is empty,
+  and the compute kernel no longer points at the protocol.
+
+Enablement:
+
+* per platform via ``DdcConfig(sanitizers=True)``;
+* process-wide via :func:`enable` / :func:`disable` (what the test
+  suite's ``pytest --sanitize`` option uses);
+* scoped via the :func:`sanitized` context manager.
+
+All violations raise :class:`~repro.errors.SanitizerViolation`.
+"""
+
+import contextlib
+import math
+
+from repro.errors import CoherenceViolation, SanitizerViolation
+from repro.sim.clock import VirtualClock
+
+
+class SanitizerSuite:
+    """One set of sanitizer check counters and checks."""
+
+    def __init__(self):
+        self.swmr_checks = 0
+        self.clock_checks = 0
+        self.leak_checks = 0
+        self.violations = 0
+
+    # ------------------------------------------------------------------
+    # Clock monotonicity / finiteness
+    # ------------------------------------------------------------------
+    def on_clock_advance(self, now, delta):
+        """Validate one ``VirtualClock.advance(delta)`` call."""
+        self.clock_checks += 1
+        if not math.isfinite(delta) or delta < 0:
+            self._violate(
+                f"clock advance by non-finite or negative delta {delta!r} "
+                f"at t={now!r}ns"
+            )
+
+    def on_clock_advance_to(self, now, target):
+        """Validate one ``VirtualClock.advance_to(target)`` call."""
+        self.clock_checks += 1
+        if not math.isfinite(target):
+            self._violate(
+                f"clock advance_to non-finite target {target!r} at t={now!r}ns"
+            )
+
+    # ------------------------------------------------------------------
+    # Per-transition SWMR
+    # ------------------------------------------------------------------
+    def swmr_transition(self, protocol, transition, vpn=None):
+        """Re-assert SWMR after one coherence-protocol transition.
+
+        ``vpn`` scopes the check to one page (O(1), used on the per-access
+        transitions); without it the whole cache is swept (session
+        boundaries).
+        """
+        self.swmr_checks += 1
+        try:
+            protocol.check_swmr(vpn)
+        except CoherenceViolation as exc:
+            self.violations += 1
+            tracer = protocol.platform.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    0.0, "sanitizer", check="swmr", transition=transition, vpn=vpn,
+                )
+            raise SanitizerViolation(
+                f"SWMR violated after transition {transition!r}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Session-end leaks
+    # ------------------------------------------------------------------
+    def check_protocol_teardown(self, protocol, compkernel):
+        """After a refcount-zero release, nothing of the session survives."""
+        self.leak_checks += 1
+        if protocol.t_mm is not None:
+            self._violate(
+                "leaked temporary context: t_mm survived a refcount-zero release"
+            )
+        if protocol._mem_upgrade_until:
+            self._violate(
+                f"leaked in-flight upgrade map: "
+                f"{len(protocol._mem_upgrade_until)} entries at teardown"
+            )
+        if compkernel.protocol is protocol:
+            self._violate(
+                "leaked protocol attachment: compute kernel still references "
+                "the finished protocol"
+            )
+
+    def check_session_end(self, runtime, process):
+        """At PushdownSession end: no zero-refcount protocol may linger armed."""
+        self.leak_checks += 1
+        protocol = runtime._protocols.get(process.pid)
+        if protocol is None or protocol.refcount > 0:
+            return  # released, or legitimately shared with a live session
+        if protocol.t_mm is not None or protocol._mem_upgrade_until:
+            self._violate(
+                f"session ended but protocol for pid {process.pid} was not "
+                f"torn down (refcount={protocol.refcount}, "
+                f"t_mm={'set' if protocol.t_mm is not None else 'None'}, "
+                f"in-flight upgrades={len(protocol._mem_upgrade_until)})"
+            )
+
+    def _violate(self, message):
+        self.violations += 1
+        raise SanitizerViolation(message)
+
+
+#: Process-global suite (``pytest --sanitize`` / :func:`enable`).
+_GLOBAL_SUITE = None
+
+
+def enable():
+    """Enable sanitizers process-wide; returns the active suite."""
+    global _GLOBAL_SUITE
+    if _GLOBAL_SUITE is None:
+        _GLOBAL_SUITE = SanitizerSuite()
+    VirtualClock.sanitizer = _GLOBAL_SUITE
+    return _GLOBAL_SUITE
+
+
+def disable():
+    """Disable the process-wide suite (platform-local suites are untouched)."""
+    global _GLOBAL_SUITE
+    _GLOBAL_SUITE = None
+    VirtualClock.sanitizer = None
+
+
+def active():
+    """The process-wide suite, or None."""
+    return _GLOBAL_SUITE
+
+
+@contextlib.contextmanager
+def sanitized():
+    """Context manager: sanitizers on inside, previous state restored after."""
+    previous_suite = _GLOBAL_SUITE
+    previous_clock = VirtualClock.sanitizer
+    suite = enable()
+    try:
+        yield suite
+    finally:
+        globals()["_GLOBAL_SUITE"] = previous_suite
+        VirtualClock.sanitizer = previous_clock
+
+
+def suite_for(config):
+    """The suite a new platform should use, or None.
+
+    The process-wide suite wins (so ``pytest --sanitize`` covers every
+    platform any test builds); otherwise ``config.sanitizers`` opts a
+    single platform in with its own suite. A config-scoped suite also
+    arms the global clock hook — clocks have no platform pointer, and the
+    clock invariant is unconditionally valid, so the hook is safe to leave
+    armed for the life of the process.
+    """
+    if _GLOBAL_SUITE is not None:
+        return _GLOBAL_SUITE
+    if getattr(config, "sanitizers", False):
+        suite = SanitizerSuite()
+        if VirtualClock.sanitizer is None:
+            VirtualClock.sanitizer = suite
+        return suite
+    return None

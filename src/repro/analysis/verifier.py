@@ -1,0 +1,282 @@
+"""Static verification of functions passed to ``pushdown(fn, ...)``.
+
+The paper's pushdown contract (Section 3) restricts what a pushed-down
+function may touch: it runs in a temporary user context in the *memory
+pool*, against the caller's address space, under the simulation's virtual
+clock. Anything that escapes that environment breaks either the
+simulation's determinism or the pushdown substitution itself:
+
+* wall-clock reads and sleeps (``PD101``) — virtual time is the only time;
+* unseeded RNG (``PD102``) — every run must replay bit-identically;
+* file/socket/process I/O (``PD103``) — there is no host OS down there;
+* host threading/multiprocessing (``PD104``) — parallelism is modelled
+  with virtual clocks, not spawned;
+* mutation of module globals (``PD105``) — the remote context must not
+  write compute-side module state behind the coherence protocol's back;
+* closure capture of compute-local objects (``PD106``) — a pushed
+  function holding a page cache, kernel, or platform would touch
+  compute-pool state directly, bypassing the fabric.
+
+``verify_callable`` analyses a live callable (AST of its source plus its
+closure/global captures); ``verify_node`` analyses a function AST node,
+which is what the test-suite sweep of every pushdown call site uses.
+Enforcement at call time is opt-in via ``pushdown(..., verify=True)``.
+"""
+
+import ast
+import inspect
+import textwrap
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules import (
+    PD_CONCURRENCY,
+    PD_GLOBAL_MUTATION,
+    PD_IO,
+    PD_LOCAL_CAPTURE,
+    PD_UNSEEDED_RNG,
+    PD_UNVERIFIABLE,
+    PD_WALL_CLOCK,
+    call_name,
+    compute_local_types,
+    dotted_name,
+    is_concurrency_name,
+    is_io_call,
+    is_unseeded_rng_call,
+    is_wall_clock_call,
+)
+from repro.errors import PushdownVerificationError
+
+#: AST-scan results per code object; the capture scan (whose outcome
+#: depends on the live closure, not the code) is re-run every call.
+_AST_CACHE = {}
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Collects PD101–PD105 findings inside one function body."""
+
+    def __init__(self, path):
+        self.path = path
+        self.diagnostics = []
+
+    def _flag(self, rule, node, message):
+        self.diagnostics.append(
+            Diagnostic(
+                rule=rule.id,
+                message=message,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+            )
+        )
+
+    def visit_Call(self, node):
+        dotted = call_name(node)
+        if dotted is not None:
+            if is_wall_clock_call(dotted):
+                self._flag(PD_WALL_CLOCK, node, f"call to {dotted} reads the host clock")
+            elif is_unseeded_rng_call(node):
+                self._flag(PD_UNSEEDED_RNG, node, f"call to {dotted} is unseeded RNG")
+            elif is_io_call(dotted):
+                self._flag(PD_IO, node, f"call to {dotted} performs host I/O")
+            elif is_concurrency_name(dotted):
+                self._flag(
+                    PD_CONCURRENCY, node,
+                    f"call to {dotted} spawns host concurrency",
+                )
+            elif dotted == "globals":
+                self._flag(
+                    PD_GLOBAL_MUTATION, node,
+                    "globals() gives writable access to module state",
+                )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node):
+        dotted = dotted_name(node)
+        if is_concurrency_name(dotted):
+            self._flag(
+                PD_CONCURRENCY, node,
+                f"reference to host concurrency module member {dotted}",
+            )
+            return  # one finding per chain; skip nested attributes
+        self.generic_visit(node)
+
+    def visit_Global(self, node):
+        self._flag(
+            PD_GLOBAL_MUTATION, node,
+            f"'global {', '.join(node.names)}' mutates module state",
+        )
+
+    def visit_Import(self, node):
+        for alias in node.names:
+            if is_concurrency_name(alias.name):
+                self._flag(
+                    PD_CONCURRENCY, node,
+                    f"import of host concurrency module {alias.name}",
+                )
+
+    def visit_ImportFrom(self, node):
+        if node.module and is_concurrency_name(node.module):
+            self._flag(
+                PD_CONCURRENCY, node,
+                f"import from host concurrency module {node.module}",
+            )
+
+
+def verify_node(node, path="<pushdown>"):
+    """Verify a function AST node (FunctionDef / AsyncFunctionDef / Lambda).
+
+    Only the AST-level rules (PD101–PD105) apply: closure contents are a
+    runtime property and need :func:`verify_callable`.
+    """
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        raise TypeError(f"expected a function AST node, got {type(node).__name__}")
+    scanner = _FunctionScanner(path)
+    body = node.body if isinstance(node.body, list) else [node.body]
+    for child in body:
+        scanner.visit(child)
+    return scanner.diagnostics
+
+
+def _unwrap(fn):
+    """Peel partials/bound methods; returns (function, captured_extras)."""
+    extras = []
+    import functools
+
+    while isinstance(fn, functools.partial):
+        extras.extend(fn.args)
+        extras.extend(fn.keywords.values())
+        fn = fn.func
+    unbound = getattr(fn, "__func__", None)
+    if unbound is not None:
+        # A bound method: the receiver is a capture. (Builtins also have
+        # __self__ — the module — but no __func__; they stay as-is and
+        # fall out as PD107-unverifiable.)
+        extras.append(fn.__self__)
+        fn = unbound
+    return fn, extras
+
+
+def _locate_node(tree, fn, base_lineno):
+    """Find ``fn``'s own def/lambda node inside its parsed source block."""
+    target = fn.__code__.co_firstlineno - base_lineno + 1
+    is_lambda = fn.__name__ == "<lambda>"
+    best = None
+    for node in ast.walk(tree):
+        if is_lambda and isinstance(node, ast.Lambda):
+            if node.lineno == target:
+                return node
+            if best is None:
+                best = node
+        elif not is_lambda and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == fn.__name__:
+                return node
+    return best
+
+
+def _scan_ast(fn, path):
+    """AST findings for a live function, cached per code object."""
+    code = fn.__code__
+    cached = _AST_CACHE.get(code)
+    if cached is not None:
+        return cached
+    try:
+        lines, base_lineno = inspect.getsourcelines(fn)
+        tree = ast.parse(textwrap.dedent("".join(lines)))
+    except (OSError, TypeError, SyntaxError, IndentationError):
+        diagnostics = [
+            Diagnostic(
+                rule=PD_UNVERIFIABLE.id,
+                message=f"source of {fn.__name__!r} is unavailable; cannot verify",
+                path=path,
+                severity="warning",
+            )
+        ]
+        _AST_CACHE[code] = diagnostics
+        return diagnostics
+    node = _locate_node(tree, fn, base_lineno)
+    if node is None:
+        diagnostics = [
+            Diagnostic(
+                rule=PD_UNVERIFIABLE.id,
+                message=f"could not locate {fn.__name__!r} in its source block",
+                path=path,
+                severity="warning",
+            )
+        ]
+    else:
+        diagnostics = verify_node(node, path=path)
+        # Re-anchor line numbers to the real file.
+        diagnostics = [
+            Diagnostic(
+                rule=d.rule, message=d.message, path=path,
+                line=d.line + base_lineno - 1, col=d.col, severity=d.severity,
+            )
+            for d in diagnostics
+        ]
+    _AST_CACHE[code] = diagnostics
+    return diagnostics
+
+
+def _scan_captures(fn, extras, path):
+    """PD106: compute-local objects reachable from the function itself."""
+    banned = compute_local_types()
+    findings = []
+
+    def check(value, how):
+        if isinstance(value, banned):
+            findings.append(
+                Diagnostic(
+                    rule=PD_LOCAL_CAPTURE.id,
+                    message=(
+                        f"{how} holds a compute-local "
+                        f"{type(value).__name__} instance"
+                    ),
+                    path=path,
+                    line=fn.__code__.co_firstlineno,
+                )
+            )
+
+    closure = fn.__closure__ or ()
+    for name, cell in zip(fn.__code__.co_freevars, closure):
+        try:
+            value = cell.cell_contents
+        except ValueError:  # unfilled cell (recursive def mid-construction)
+            continue
+        check(value, f"closure variable {name!r}")
+    module_globals = getattr(fn, "__globals__", {})
+    for name in fn.__code__.co_names:
+        if name in module_globals:
+            check(module_globals[name], f"global {name!r}")
+    for value in extras:
+        check(value, "bound/partial argument")
+    return findings
+
+
+def verify_callable(fn):
+    """Every finding for a live callable (AST rules + capture scan)."""
+    inner, extras = _unwrap(fn)
+    if not hasattr(inner, "__code__"):
+        return [
+            Diagnostic(
+                rule=PD_UNVERIFIABLE.id,
+                message=f"{fn!r} is not a pure-Python function; cannot verify",
+                severity="warning",
+            )
+        ]
+    path = inner.__code__.co_filename
+    diagnostics = list(_scan_ast(inner, path))
+    diagnostics.extend(_scan_captures(inner, extras, path))
+    return diagnostics
+
+
+def is_pushdownable(fn):
+    """True when the verifier finds no errors (warnings are tolerated)."""
+    return not [d for d in verify_callable(fn) if d.severity == "error"]
+
+
+def assert_pushdownable(fn):
+    """Raise :class:`PushdownVerificationError` on any error finding."""
+    errors = [d for d in verify_callable(fn) if d.severity == "error"]
+    if errors:
+        name = getattr(fn, "__qualname__", getattr(fn, "__name__", repr(fn)))
+        raise PushdownVerificationError(name, errors)

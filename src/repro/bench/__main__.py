@@ -10,9 +10,9 @@ Usage::
 
 import argparse
 import sys
-import time
 
 from repro.bench.registry import FIGURES, run_figure
+from repro.bench.timing import wall_timer
 
 
 def main(argv=None):
@@ -40,10 +40,10 @@ def main(argv=None):
 
     targets = sorted(FIGURES) if args.figures == ["all"] else args.figures
     for figure_id in targets:
-        started = time.time()
-        result = run_figure(figure_id, effort=args.effort)
+        with wall_timer() as timer:
+            result = run_figure(figure_id, effort=args.effort)
         print(result.format_table())
-        print(f"[{figure_id} completed in {time.time() - started:.1f}s wall]\n")
+        print(f"[{figure_id} completed in {timer.seconds:.1f}s wall]\n")
     return 0
 
 

@@ -1,0 +1,38 @@
+"""The one sanctioned wall-clock in the tree.
+
+Everything simulated runs on virtual clocks; real time is only ever
+meaningful for reporting how long a benchmark took to *compute*. That
+single legitimate use lives here, behind :func:`wall_timer`, which is the
+sole entry in the determinism lint's allowlist
+(``repro.analysis.lint.DEFAULT_ALLOWLIST``). Any other ``time.time()``
+style call in ``src/repro`` is a lint error (rule LNT101).
+"""
+
+import contextlib
+import time
+
+
+class WallTime:
+    """Result object of :func:`wall_timer`: elapsed host seconds."""
+
+    def __init__(self):
+        self.seconds = 0.0
+
+
+@contextlib.contextmanager
+def wall_timer():
+    """Measure host wall-clock seconds around a block::
+
+        with wall_timer() as timer:
+            run_figure(...)
+        print(f"took {timer.seconds:.1f}s wall")
+
+    The clock reads happen here and only here — the lint allowlist names
+    this function exactly, so moving a read anywhere else trips LNT101.
+    """
+    timer = WallTime()
+    started = time.perf_counter()
+    try:
+        yield timer
+    finally:
+        timer.seconds = time.perf_counter() - started

@@ -156,6 +156,12 @@ class ComputeKernel:
                 cost += self.network.pages_out_ns(1)
             if self.protocol is not None:
                 self.protocol.on_compute_evict(victim_vpn)
+        if self.protocol is not None and self.platform.sanitizers is not None:
+            # The fetch transition is complete only once the page is in the
+            # cache (on_compute_fetch adjusted t_mm before the reply).
+            self.platform.sanitizers.swmr_transition(
+                self.protocol, "compute_fetch", vpn
+            )
         return cost
 
     def _upgrade(self, vpn, entry, now):
@@ -170,6 +176,12 @@ class ComputeKernel:
         if self.protocol is not None:
             cost = self.protocol.compute_upgrade(vpn, now)
         entry.writable = True
+        if self.protocol is not None and self.platform.sanitizers is not None:
+            # Re-check after the entry actually became writable: t_mm must
+            # no longer map the page (MESI).
+            self.platform.sanitizers.swmr_transition(
+                self.protocol, "compute_upgrade_applied", vpn
+            )
         return cost
 
     # ------------------------------------------------------------------

@@ -5,6 +5,7 @@ stats) and the OS components, creates processes/threads, and hands
 application code :class:`~repro.ddc.context.ExecutionContext` objects.
 """
 
+from repro.analysis.sanitizers import suite_for
 from repro.ddc.context import ExecutionContext
 from repro.ddc.kernels import ComputeKernel, MemoryKernel
 from repro.ddc.pool import Pool
@@ -29,6 +30,10 @@ class Platform:
         self.network = Network(self.config, self.stats)
         #: Opt-in structured event recording (see repro.sim.trace).
         self.tracer = Tracer()
+        #: Runtime invariant sanitizers (repro.analysis.sanitizers):
+        #: the process-wide suite under ``pytest --sanitize``, a private
+        #: suite when ``config.sanitizers`` is set, else None.
+        self.sanitizers = suite_for(self.config)
 
     def new_process(self):
         return Process(self)

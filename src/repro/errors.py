@@ -5,7 +5,7 @@ catch simulation-level failures separately from programming errors.
 """
 
 
-class ReproError(Exception):
+class ReproError(Exception):  # lint: disable=LNT105  (the hierarchy root)
     """Base class for all errors raised by this library."""
 
 
@@ -65,6 +65,34 @@ class RemotePushdownFault(PushdownError):
         self.original = original
 
 
+class PushdownUserError(RemotePushdownFault):
+    """The pushed function itself raised — a *user* bug, not infrastructure.
+
+    Raised with the user exception as ``__cause__`` so callers can follow
+    the original traceback. The circuit breaker counts only infrastructure
+    failures (timeouts, retry exhaustion, watchdog aborts); a user error
+    never trips it, because re-routing a buggy function to the compute pool
+    would not make it any less buggy.
+    """
+
+
+class PushdownVerificationError(PushdownError):
+    """Static analysis rejected a function passed to ``pushdown(verify=True)``.
+
+    ``diagnostics`` holds the :class:`~repro.analysis.diagnostics.Diagnostic`
+    records explaining every non-pushdownable construct found.
+    """
+
+    def __init__(self, fn_name, diagnostics):
+        rules = ", ".join(sorted({d.rule for d in diagnostics}))
+        super().__init__(
+            f"function {fn_name!r} is not pushdownable "
+            f"({len(diagnostics)} finding(s): {rules})"
+        )
+        self.fn_name = fn_name
+        self.diagnostics = tuple(diagnostics)
+
+
 class KernelPanic(ReproError):
     """The memory pool became unreachable: main memory is lost.
 
@@ -78,4 +106,14 @@ class CoherenceViolation(ReproError):
 
     Raised only by internal assertions / property tests; a correct protocol
     never triggers it.
+    """
+
+
+class SanitizerViolation(ReproError):
+    """A runtime sanitizer caught an invariant violation.
+
+    Raised by the :mod:`repro.analysis.sanitizers` suite — per-transition
+    SWMR checks, clock-monotonicity checks, and session-end leak checks.
+    A correct simulation never triggers it; tripping one is always a bug
+    in the library (or a deliberately corrupted state in a test).
     """

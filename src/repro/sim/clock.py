@@ -13,6 +13,13 @@ class VirtualClock:
 
     __slots__ = ("_now",)
 
+    #: Optional process-wide :class:`~repro.analysis.sanitizers.SanitizerSuite`
+    #: hook. ``advance(ns)`` rejects negative deltas itself, but NaN compares
+    #: false against everything and would silently poison every timestamp
+    #: downstream; the sanitizer catches non-finite time when armed. Set by
+    #: :func:`repro.analysis.sanitizers.enable` (e.g. ``pytest --sanitize``).
+    sanitizer = None
+
     def __init__(self, start_ns=0.0):
         if start_ns < 0:
             raise ConfigError(f"clock cannot start at negative time: {start_ns}")
@@ -27,11 +34,15 @@ class VirtualClock:
         """Charge ``ns`` nanoseconds of work and return the new time."""
         if ns < 0:
             raise ConfigError(f"cannot advance clock by negative time: {ns}")
+        if VirtualClock.sanitizer is not None:
+            VirtualClock.sanitizer.on_clock_advance(self._now, ns)
         self._now += ns
         return self._now
 
     def advance_to(self, ns):
         """Move the clock forward to an absolute time (no-op if in the past)."""
+        if VirtualClock.sanitizer is not None:
+            VirtualClock.sanitizer.on_clock_advance_to(self._now, ns)
         if ns > self._now:
             self._now = ns
         return self._now

@@ -164,6 +164,11 @@ class DdcConfig:
     # ------------------------------------------------------------------
     #: Seed for all data generators in a run.
     seed: int = 2022
+    #: Arm the runtime invariant sanitizers (repro.analysis.sanitizers) on
+    #: platforms built from this config: per-transition SWMR checks,
+    #: clock-finiteness checks, and pushdown-session leak checks. The test
+    #: suite's ``pytest --sanitize`` flag enables them process-wide instead.
+    sanitizers: bool = False
 
     def __post_init__(self):
         positive = {

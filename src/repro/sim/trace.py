@@ -42,6 +42,7 @@ class Tracer:
         "coherence",    # protocol transition (invalidate/downgrade/tiebreak)
         "pushdown",     # pushdown lifecycle (begin/finish/cancel/abort)
         "syncmem",      # manual synchronisation calls
+        "sanitizer",    # runtime invariant sanitizer findings
     })
 
     def __init__(self, limit=100_000):

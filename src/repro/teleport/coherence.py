@@ -34,6 +34,9 @@ class CoherenceProtocol:
         self.config = platform.config
         self.stats = platform.stats
         self.network = platform.network
+        #: Per-transition SWMR sanitizer (repro.analysis.sanitizers); None
+        #: unless the platform was built with sanitizers armed.
+        self.sanitizer = platform.sanitizers
         self.mode = mode
         compkernel, memkernel = platform.kernels_for(process)
         self.compkernel = compkernel
@@ -66,6 +69,9 @@ class CoherenceProtocol:
             if pte is None or not pte.present:
                 continue
             self._invalidate(pte, write=writable)
+        if self.sanitizer is not None:
+            # The freshly built temporary context must satisfy SWMR.
+            self.sanitizer.swmr_transition(self, "setup")
         return self.config.context_base_ns + self.config.pte_clone_ns * len(resident)
 
     @staticmethod
@@ -109,6 +115,12 @@ class CoherenceProtocol:
     # ------------------------------------------------------------------
     def memory_touch(self, vpn, write, now):
         """One page access from the temporary context; returns its cost."""
+        cost = self._memory_touch(vpn, write, now)
+        if self.sanitizer is not None:
+            self.sanitizer.swmr_transition(self, "memory_touch", vpn)
+        return cost
+
+    def _memory_touch(self, vpn, write, now):
         cost = 0.0
         pte = self.t_mm.ensure(vpn) if self.t_mm is not None else None
         # 'True' page fault: the page is not in memory-pool DRAM at all —
@@ -212,6 +224,8 @@ class CoherenceProtocol:
             cost += self.network.coherence_message_ns()  # request
             cost += self.network.coherence_message_ns()  # ack
         self.online_sync_ns += cost
+        if self.sanitizer is not None:
+            self.sanitizer.swmr_transition(self, "compute_upgrade", vpn)
         return cost
 
     def on_compute_evict(self, vpn):
@@ -226,6 +240,8 @@ class CoherenceProtocol:
         if pte is not None:
             pte.present = True
             pte.writable = True
+        if self.sanitizer is not None:
+            self.sanitizer.swmr_transition(self, "compute_evict", vpn)
 
     # ------------------------------------------------------------------
     # Completion
@@ -269,6 +285,10 @@ class CoherenceProtocol:
         table — "no external communication is necessary" (Section 4.1)."""
         if self.t_mm is None:
             return
+        if self.sanitizer is not None:
+            # Full sweep at session end, complementing the O(1)
+            # single-page checks done per transition.
+            self.sanitizer.swmr_transition(self, "finish")
         for vpn, pte in self.t_mm.entries():
             if pte.dirty:
                 full = self.full_table.get(vpn)
@@ -280,26 +300,36 @@ class CoherenceProtocol:
     # ------------------------------------------------------------------
     # Invariant checking (property tests, Section 4.1 "Correctness")
     # ------------------------------------------------------------------
-    def check_swmr(self):
+    def check_swmr(self, vpn=None):
         """Assert Single-Writer-Multiple-Reader across the two pools.
 
-        Only meaningful in MESI mode; relaxed modes intentionally weaken
-        the invariant.
+        With ``vpn`` the check is O(1) over that single page — what the
+        per-transition sanitizer uses; without it the whole cache is swept
+        (property tests and session-end checks). Only meaningful in MESI
+        mode; relaxed modes intentionally weaken the invariant.
         """
         if self.t_mm is None or self.mode is not ConsistencyMode.MESI:
             return
-        for vpn, entry in self.cache.resident_items():
-            pte = self.t_mm.get(vpn)
-            if pte is None or not pte.present:
-                continue
-            if entry.writable:
-                raise CoherenceViolation(
-                    f"page {vpn}: writable in compute pool but mapped in t_mm"
-                )
-            if pte.writable:
-                raise CoherenceViolation(
-                    f"page {vpn}: writable in t_mm but cached in compute pool"
-                )
+        if vpn is not None:
+            entry = self.cache.peek(vpn)
+            if entry is not None:
+                self._check_swmr_pair(vpn, entry)
+            return
+        for resident_vpn, entry in self.cache.resident_items():
+            self._check_swmr_pair(resident_vpn, entry)
+
+    def _check_swmr_pair(self, vpn, entry):
+        pte = self.t_mm.get(vpn)
+        if pte is None or not pte.present:
+            return
+        if entry.writable:
+            raise CoherenceViolation(
+                f"page {vpn}: writable in compute pool but mapped in t_mm"
+            )
+        if pte.writable:
+            raise CoherenceViolation(
+                f"page {vpn}: writable in t_mm but cached in compute pool"
+            )
 
     def state_of(self, vpn):
         """(compute, memory) permission pair for one page, e.g. ('R', 'W')."""

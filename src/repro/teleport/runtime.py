@@ -38,7 +38,7 @@ from repro.errors import (
     PushdownAborted,
     PushdownRetryExhausted,
     PushdownTimeout,
-    RemotePushdownFault,
+    PushdownUserError,
     ReproError,
 )
 from repro.faults.breaker import CircuitBreaker
@@ -141,20 +141,32 @@ class TeleportRuntime:
     # The syscall
     # ------------------------------------------------------------------
     def pushdown(self, ctx, fn, *args, consistency=None, sync=None, timeout_ns=None,
-                 sync_regions=None, options=None, on_timeout=None):
+                 sync_regions=None, options=None, on_timeout=None, verify=False):
         """Ship ``fn(*args)`` to the memory pool; block until it completes.
 
         ``fn`` receives a memory-side :class:`ExecutionContext` as its first
         argument and may access any region of the caller's address space.
         Exceptions raised by ``fn`` are rethrown at the caller wrapped in
-        :class:`RemotePushdownFault`.
+        :class:`PushdownUserError` (original attached as ``__cause__``).
+
+        ``verify=True`` statically verifies ``fn`` first via
+        :func:`repro.analysis.verifier.assert_pushdownable`, raising
+        :class:`~repro.errors.PushdownVerificationError` if it uses
+        non-pushdownable constructs (wall clock, unseeded RNG, I/O, host
+        concurrency, global mutation, compute-local captures).
 
         Recovery behaviour: lost messages are retransmitted (bounded,
         backed off, charged to the caller); expired timeouts follow the
         ``on_timeout`` :class:`TimeoutAction`; consecutive infrastructure
         failures trip the per-process circuit breaker, which routes calls
-        to the compute pool until a probe succeeds.
+        to the compute pool until a probe succeeds. User errors never
+        trip the breaker — a buggy function stays buggy wherever it runs.
         """
+        if verify:
+            # Imported lazily: the analysis layer sits above the runtime.
+            from repro.analysis.verifier import assert_pushdownable
+
+            assert_pushdownable(fn)
         options = _resolve_options(
             options, consistency, sync, timeout_ns, sync_regions, on_timeout
         )
@@ -211,7 +223,7 @@ class TeleportRuntime:
             )
         breaker.record_success(ctx.now)
         if error is not None:
-            raise RemotePushdownFault(error)
+            raise PushdownUserError(error) from error
         return result
 
     # ------------------------------------------------------------------
@@ -247,6 +259,9 @@ class TeleportRuntime:
             protocol.finish()
             compkernel, _memkernel = self.platform.kernels_for(process)
             compkernel.protocol = None
+            sanitizers = self.platform.sanitizers
+            if sanitizers is not None:
+                sanitizers.check_protocol_teardown(protocol, compkernel)
 
 
 class PushdownSession:
@@ -521,6 +536,9 @@ class PushdownSession:
                 phase="aborted" if self.aborted else "finish",
                 function_ms=round(self.breakdown.function_ns / 1e6, 3),
             )
+        sanitizers = runtime.platform.sanitizers
+        if sanitizers is not None:
+            sanitizers.check_session_end(runtime, self._process)
 
     def _teardown(self, end_ns, check_invariant=False):
         """Free the instance and release coherence state; returns the
@@ -534,6 +552,9 @@ class PushdownSession:
         self.breakdown.post_sync_ns = post
         runtime.release_protocol(self._process)
         runtime.breakdowns.append(self.breakdown)
+        sanitizers = runtime.platform.sanitizers
+        if sanitizers is not None:
+            sanitizers.check_session_end(runtime, self._process)
         return post
 
     def abandon(self):
