@@ -1,0 +1,35 @@
+"""Multi-tenant serving: offload policy × queue policy grid.
+
+Not a figure from the paper — the serving-layer benchmark this
+reproduction adds on top (ROADMAP: production-scale concurrent traffic).
+Checks the adaptive offload controller's headline property: on a
+mixed-residency tenant mix it beats both static baselines, because no
+single static choice is right for a hot and a cold tenant at once.
+"""
+
+from conftest import run_once
+
+from repro.bench.serving import run_serve_policies, serve_mixed
+from repro.serve.offload import OffloadPolicy
+from repro.serve.pool import QueuePolicy
+
+
+def test_serve_policy_grid(benchmark, effort, record):
+    """Adaptive < min(always, never) on total completion time, per queue."""
+    result = record(run_once(benchmark, run_serve_policies, effort=effort))
+    for queue in ("fifo", "fair"):
+        never = result.row(offload="never", queue=queue)
+        always = result.row(offload="always", queue=queue)
+        adaptive = result.row(offload="adaptive", queue=queue)
+        assert adaptive["total_ms"] < never["total_ms"]
+        assert adaptive["total_ms"] < always["total_ms"]
+        # The mixed decision is genuinely mixed: some requests pushed,
+        # some kept local — not a relabeled static policy.
+        assert 0 < adaptive["pushed"] < adaptive["requests"]
+
+
+def test_serve_grid_deterministic(effort):
+    """Same seed, same arrival plan: byte-identical latency tables."""
+    first = serve_mixed(OffloadPolicy.ADAPTIVE, QueuePolicy.FAIR, effort=effort)
+    second = serve_mixed(OffloadPolicy.ADAPTIVE, QueuePolicy.FAIR, effort=effort)
+    assert first.latency_table() == second.latency_table()

@@ -29,6 +29,7 @@ from repro.bench.figures_systems import (
     run_fig11_code_table,
     run_fig13_effectiveness,
 )
+from repro.bench.serving import run_serve_policies
 from repro.errors import ReproError
 
 FIGURES = {
@@ -53,6 +54,7 @@ FIGURES = {
     "ablation-prefetch": run_ablation_prefetch,
     "ablation-rle": run_ablation_rle,
     "ablation-coherence": run_ablation_coherence_modes,
+    "serve-policies": run_serve_policies,
 }
 
 

@@ -1,0 +1,105 @@
+"""The multi-tenant serving benchmark: offload and queueing policy grid.
+
+A mixed-residency tenant mix — a hot SQL client whose table the compute
+cache retains, a cold MapReduce client streaming a corpus once, and a
+graph client answering k-hop queries — is served under every combination
+of offload policy (never / always / adaptive) and admission-queue policy
+(FIFO / weighted fair share). Reported per cell: total completion time,
+makespan, p50/p99 request latency, pushdown counts, and throughput.
+
+The adaptive controller should beat both static baselines on total
+completion time: *never* drags the cold tenant through remote faults,
+*always* taxes the hot tenant with per-call overhead and coherence
+invalidations of its warm cache.
+"""
+
+from repro.bench.results import FigureResult
+from repro.serve.adapters import (
+    graph_workload,
+    mapreduce_workload,
+    sql_workload,
+)
+from repro.serve.offload import OffloadPolicy
+from repro.serve.pool import QueuePolicy
+from repro.serve.tenant import Server
+from repro.sim.config import DdcConfig
+from repro.sim.stats import p50, p99
+from repro.sim.units import MIB
+
+_EFFORT = {
+    "quick": dict(sql_rows=40_000, sql_requests=5, mr_tokens=1_500_000,
+                  mr_splits=6, graph_vertices=4096, graph_requests=4,
+                  cache_bytes=2 * MIB),
+    "full": dict(sql_rows=200_000, sql_requests=8, mr_tokens=8_000_000,
+                 mr_splits=12, graph_vertices=16_384, graph_requests=8,
+                 cache_bytes=8 * MIB),
+}
+
+
+def serve_mixed(offload, queue_policy=QueuePolicy.FIFO, effort="quick",
+                seed=2022):
+    """Run the mixed-residency tenant mix once; returns the ServeReport."""
+    params = _EFFORT[effort]
+    config = DdcConfig(compute_cache_bytes=params["cache_bytes"], seed=seed)
+    server = Server(config, offload=offload, queue_policy=queue_policy)
+    server.admit(
+        "sql-hot",
+        sql_workload(n_rows=params["sql_rows"],
+                     n_requests=params["sql_requests"], seed=seed),
+        arrival_ns=0.0, weight=2.0,
+    )
+    server.admit(
+        "mr-cold",
+        mapreduce_workload(n_tokens=params["mr_tokens"],
+                           n_splits=params["mr_splits"], seed=seed),
+        arrival_ns=1e6,
+    )
+    # A second, lighter cold tenant arriving mid-stream keeps the
+    # admission queue contended, so FIFO and fair-share actually differ.
+    server.admit(
+        "mr-burst",
+        mapreduce_workload(n_tokens=params["mr_tokens"] // 2,
+                           n_splits=params["mr_splits"], seed=seed + 1),
+        arrival_ns=1.5e6, weight=0.5,
+    )
+    server.admit(
+        "graph",
+        graph_workload(n_vertices=params["graph_vertices"],
+                       n_requests=params["graph_requests"], seed=seed),
+        arrival_ns=2e6,
+    )
+    return server.run()
+
+
+def run_serve_policies(effort="quick"):
+    """Serving grid: never/always/adaptive × FIFO/fair-share."""
+    result = FigureResult(
+        figure="serve-policies",
+        title="Multi-tenant serving: offload policy × queue policy "
+              "(mixed-residency tenants)",
+        columns=[
+            "offload", "queue", "total_ms", "makespan_ms", "p50_ms",
+            "p99_ms", "pushed", "requests", "throughput_rps",
+        ],
+    )
+    for offload in (OffloadPolicy.NEVER, OffloadPolicy.ALWAYS,
+                    OffloadPolicy.ADAPTIVE):
+        for queue_policy in (QueuePolicy.FIFO, QueuePolicy.FAIR):
+            report = serve_mixed(offload, queue_policy, effort=effort)
+            latencies = report.latencies_ns()
+            result.add(
+                offload=offload.value,
+                queue=queue_policy.value,
+                total_ms=round(report.total_completion_ns / 1e6, 6),
+                makespan_ms=round(report.makespan_ns / 1e6, 6),
+                p50_ms=round(p50(latencies) / 1e6, 6),
+                p99_ms=round(p99(latencies) / 1e6, 6),
+                pushed=report.pushed,
+                requests=len(report.records),
+                throughput_rps=round(report.throughput_rps, 3),
+            )
+    result.notes = (
+        "adaptive must beat both static policies on total completion time; "
+        "fair-share bounds the hot tenant's queueing delay under contention"
+    )
+    return result

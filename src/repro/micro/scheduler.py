@@ -5,15 +5,13 @@ work per ``next()``. The scheduler always steps the thread with the
 smallest virtual clock, which yields a deterministic, causally consistent
 interleaving — the property the coherence experiments need (a write at
 time t is visible to the other thread's accesses after t).
+
+The implementation now lives in :mod:`repro.serve.scheduler`, where it
+grew into the multi-tenant serving loop (named tasks, arrival times,
+completion callbacks, queued-pushdown events); this module re-exports the
+original two-thread entry point unchanged.
 """
 
+from repro.serve.scheduler import interleave
 
-def interleave(tasks):
-    """Run (clock, generator) pairs to completion, smallest clock first."""
-    active = [(clock, gen) for clock, gen in tasks]
-    while active:
-        clock, gen = min(active, key=lambda pair: pair[0].now)
-        try:
-            next(gen)
-        except StopIteration:
-            active.remove((clock, gen))
+__all__ = ["interleave"]

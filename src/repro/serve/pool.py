@@ -1,0 +1,471 @@
+"""The memory-pool pushdown scheduler: slots, admission queue, policies.
+
+The paper's runtime serialises concurrent pushdowns on the memory pool's
+few controller cores (Figure 17); under serving load that contention is
+the first-order effect (Figures 21-22 and DRackSim both turn on it). This
+module makes it explicit:
+
+* **bounded execution slots** — one per memory-pool CPU by default
+  (``slots_per_cpu`` scales it); a pushdown holds a slot from dispatch
+  until its memory-side execution ends;
+* **an admission queue** — a ``pushdown()`` that finds no free slot
+  queues in virtual time instead of executing instantly; queueing delay
+  is charged to the caller's virtual clock and accounted per tenant;
+* **pluggable policies** — FIFO, weighted fair share (least attained
+  normalised service first), and strict priority decide which queued
+  request a freed slot serves next;
+* **trace visibility** — enqueue/dispatch/cancel/complete events of kind
+  ``"sched"`` when tracing is enabled.
+
+Two paths feed the queue. Tenant workloads driven by the serving
+:class:`~repro.serve.scheduler.Scheduler` submit requests and park until
+a dispatch event resumes them — there the policies genuinely reorder,
+because every request arriving before a dispatch instant is already
+queued when the dispatch fires. Direct ``ctx.pushdown`` calls from engine
+internals take the synchronous path: they wait for the earliest free slot
+(FIFO in virtual time) with the same accounting, since a synchronous
+caller cannot be overtaken retroactively.
+
+Requests that fail *while queued* keep PR-1 semantics: an expired
+``timeout_ns`` follows the caller's :class:`TimeoutAction` (raise with
+``cancelled=True``, or automatic local fallback) and counts toward the
+per-process circuit breaker; a memory-pool panic surfaces as
+:class:`~repro.errors.KernelPanic` at the would-be dispatch, after the
+runtime has released every coherence protocol.
+"""
+
+import dataclasses
+import enum
+
+from repro.errors import ConfigError, PushdownTimeout, ReproError
+from repro.teleport.flags import TimeoutAction
+
+
+def _remaining_timeout(options, waited_ns):
+    """The caller's timeout budget net of the queueing delay already paid.
+
+    A request that waited in the admission queue must not get a fresh
+    full timeout at dispatch — the deadline is measured from submission.
+    """
+    if options is None or options.timeout_ns is None or waited_ns <= 0:
+        return options
+    return dataclasses.replace(
+        options, timeout_ns=max(0.0, options.timeout_ns - waited_ns)
+    )
+
+
+class QueuePolicy(enum.Enum):
+    """How the admission queue orders dispatches."""
+
+    #: First come, first served (by arrival time, then submission order).
+    FIFO = "fifo"
+    #: Weighted fair share: dispatch the eligible request of the tenant
+    #: with the least attained service normalised by weight.
+    FAIR = "fair"
+    #: Strict priority: higher ``priority`` always dispatches first; FIFO
+    #: within a priority level.
+    PRIORITY = "priority"
+
+
+class TenantShare:
+    """Per-tenant scheduling state and accounting."""
+
+    __slots__ = (
+        "name", "weight", "priority",
+        "submitted", "dispatched", "completed", "cancelled",
+        "queue_delay_ns", "service_ns",
+    )
+
+    def __init__(self, name, weight=1.0, priority=0):
+        if weight <= 0:
+            raise ConfigError(f"tenant {name!r}: weight must be positive")
+        self.name = name
+        self.weight = float(weight)
+        self.priority = int(priority)
+        self.submitted = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.cancelled = 0
+        #: Total virtual time this tenant's requests spent queued.
+        self.queue_delay_ns = 0.0
+        #: Total memory-pool slot time this tenant consumed.
+        self.service_ns = 0.0
+
+    def __repr__(self):
+        return (
+            f"TenantShare({self.name!r}, weight={self.weight}, "
+            f"service={self.service_ns:.0f}ns)"
+        )
+
+
+class QueuedRequest:
+    """One pushdown waiting in (or flowing through) the admission queue."""
+
+    __slots__ = (
+        "task", "ctx", "fn", "args", "options", "share", "name",
+        "arrival_ns", "dispatched_ns", "completed_ns", "seq",
+        "on_complete", "resume_task",
+    )
+
+    def __init__(self, task, ctx, fn, args, options, share, name):
+        self.task = task
+        self.ctx = ctx
+        self.fn = fn
+        self.args = tuple(args)
+        self.options = options
+        self.share = share
+        self.name = name
+        self.arrival_ns = ctx.now
+        self.dispatched_ns = None
+        self.completed_ns = None
+        self.seq = -1  # assigned by the pool; deterministic tie-break
+        #: Optional hook ``on_complete(request, result, error)`` fired at
+        #: completion, fallback, or failure.
+        self.on_complete = None
+        #: When False the pool leaves task resumption entirely to
+        #: ``on_complete`` — a task with several in-flight requests
+        #: (batch submission) resumes only when the whole batch is done.
+        self.resume_task = True
+
+    def expiry_ns(self):
+        """When this request's queued wait times out (None: never)."""
+        options = self.options
+        if options is None or options.timeout_ns is None:
+            return None
+        if options.on_timeout is TimeoutAction.WAIT:
+            return None
+        return self.arrival_ns + options.timeout_ns
+
+
+class PoolScheduler:
+    """Admission queue + bounded execution slots of one memory pool.
+
+    Installs itself on the platform's TELEPORT runtime; from then on every
+    ``pushdown()`` is slot-bounded. Acts as the serving scheduler's event
+    source: ``next_event_ns``/``fire`` interleave queue dispatches with
+    tenant task steps in virtual-time order.
+    """
+
+    def __init__(self, platform, slots=None, policy=QueuePolicy.FIFO):
+        runtime = getattr(platform, "teleport", None)
+        if runtime is None:
+            raise ConfigError(
+                f"platform kind {platform.kind!r} has no TELEPORT runtime to schedule"
+            )
+        config = platform.config
+        if slots is None:
+            slots = config.memory_pool_cores
+        if slots < 1:
+            raise ConfigError(f"need at least one execution slot, got {slots}")
+        if config.teleport_instances < slots:
+            raise ConfigError(
+                f"{slots} slots need >= {slots} TELEPORT instances; config has "
+                f"{config.teleport_instances} (raise teleport_instances)"
+            )
+        self.platform = platform
+        self.config = config
+        self.stats = platform.stats
+        self.runtime = runtime
+        self.policy = policy
+        self.slot_free_at = [0.0] * slots
+        self.queue = []
+        self.shares = {}
+        self.dispatching = False
+        self._seq = 0
+        runtime.pool_scheduler = self
+
+    # ------------------------------------------------------------------
+    # Tenants
+    # ------------------------------------------------------------------
+    def register(self, name, weight=1.0, priority=0):
+        """Register a tenant; returns its :class:`TenantShare`."""
+        if name in self.shares:
+            raise ConfigError(f"tenant {name!r} already registered")
+        share = TenantShare(name, weight=weight, priority=priority)
+        self.shares[name] = share
+        return share
+
+    def share_for(self, ctx):
+        """The share a context charges to (auto-registered per process)."""
+        name = getattr(ctx, "serve_tenant", None)
+        if name is None:
+            name = f"pid-{ctx.thread.process.pid}"
+        share = self.shares.get(name)
+        if share is None:
+            share = self.shares.setdefault(name, TenantShare(name))
+        return share
+
+    # ------------------------------------------------------------------
+    # Live state the offload controller reads
+    # ------------------------------------------------------------------
+    def queue_depth(self, now=None):
+        """Requests waiting plus slots busy at ``now`` (now=None: waiting only)."""
+        depth = len(self.queue)
+        if now is not None:
+            depth += sum(1 for free in self.slot_free_at if free > now)
+        return depth
+
+    def estimated_wait_ns(self, now):
+        """Deterministic estimate of the queueing delay a new arrival pays."""
+        backlog = max(0.0, min(self.slot_free_at) - now)
+        if self.queue:
+            backlog += len(self.queue) * self._mean_service_ns()
+        return backlog
+
+    def _mean_service_ns(self):
+        completed = sum(share.completed for share in self.shares.values())
+        if completed == 0:
+            return self.config.context_base_ns
+        total = sum(share.service_ns for share in self.shares.values())
+        return total / completed
+
+    # ------------------------------------------------------------------
+    # The queued (serving) path
+    # ------------------------------------------------------------------
+    def submit(self, scheduler, request):
+        """Queue a request and park its task until dispatch resumes it."""
+        request.seq = self._seq
+        self._seq += 1
+        request.share.submitted += 1
+        self.queue.append(request)
+        self._emit(
+            request.arrival_ns, "enqueue", tenant=request.share.name,
+            request=request.name, depth=len(self.queue),
+        )
+        scheduler.block(request.task)
+
+    def next_event_ns(self):
+        """Virtual time of the earliest pending dispatch or queue expiry."""
+        if not self.queue:
+            return None
+        earliest_arrival = min(r.arrival_ns for r in self.queue)
+        event = max(min(self.slot_free_at), earliest_arrival)
+        for request in self.queue:
+            expiry = request.expiry_ns()
+            if expiry is not None and expiry < event:
+                event = expiry
+        return event
+
+    def fire(self, now, scheduler):
+        """Handle the event at ``now``: cancel expired waits, dispatch one."""
+        expired = sorted(
+            (r for r in self.queue
+             if r.expiry_ns() is not None and r.expiry_ns() <= now),
+            key=lambda r: (r.expiry_ns(), r.seq),
+        )
+        for request in expired:
+            self.queue.remove(request)
+            self._cancel_queued(request, scheduler)
+        if not self.queue:
+            return
+        eligible = [r for r in self.queue if r.arrival_ns <= now]
+        if not eligible or min(self.slot_free_at) > now:
+            return
+        self._dispatch(now, eligible, scheduler)
+
+    def _dispatch(self, now, eligible, scheduler):
+        request = self._pick(eligible)
+        self.queue.remove(request)
+        share = request.share
+        share.dispatched += 1
+        share.queue_delay_ns += now - request.arrival_ns
+        request.dispatched_ns = now
+        ctx = request.ctx
+        ctx.thread.clock.advance_to(now)
+        self._emit(
+            now, "dispatch", tenant=share.name, request=request.name,
+            wait_ms=round((now - request.arrival_ns) / 1e6, 6),
+            depth=len(self.queue),
+        )
+        slot = min(range(len(self.slot_free_at)), key=self.slot_free_at.__getitem__)
+        breakdowns_before = len(self.runtime.breakdowns)
+        options = _remaining_timeout(request.options, now - request.arrival_ns)
+        error = None
+        result = None
+        try:
+            self.dispatching = True
+            result = self.runtime.pushdown(
+                ctx, request.fn, *request.args, options=options
+            )
+        except ReproError as exc:
+            error = exc
+        finally:
+            self.dispatching = False
+        end_ns = self._release_slot(slot, breakdowns_before, ctx, now, share)
+        if error is not None:
+            self._emit(
+                ctx.now, "complete", tenant=share.name, request=request.name,
+                outcome=type(error).__name__,
+            )
+            self._finish(scheduler, request, None, error)
+            return
+        request.completed_ns = ctx.now
+        share.completed += 1
+        self._emit(
+            ctx.now, "complete", tenant=share.name, request=request.name,
+            outcome="ok",
+            service_ms=round(((end_ns if end_ns is not None else ctx.now) - now) / 1e6, 6),
+        )
+        self._finish(scheduler, request, result, None)
+
+    def _finish(self, scheduler, request, result, error):
+        """Deliver a request's outcome: hook first, then task resumption."""
+        if request.on_complete is not None:
+            request.on_complete(request, result, error)
+        if not request.resume_task:
+            return
+        if error is not None:
+            scheduler.throw(request.task, error)
+        else:
+            scheduler.resume(request.task, result)
+
+    def _cancel_queued(self, request, scheduler):
+        """A queued request timed out before reaching a slot (Section 3.2:
+        try_cancel trivially succeeds — the function never started)."""
+        share = request.share
+        share.cancelled += 1
+        expiry = request.expiry_ns()
+        ctx = request.ctx
+        ctx.thread.clock.advance_to(expiry)
+        share.queue_delay_ns += expiry - request.arrival_ns
+        self.stats.pushdown_timeouts += 1
+        self.stats.pushdown_cancellations += 1
+        self.runtime.breaker_for(ctx.thread.process).record_failure(expiry)
+        self._emit(
+            expiry, "cancel", tenant=share.name, request=request.name,
+            waited_ms=round((expiry - request.arrival_ns) / 1e6, 6),
+        )
+        if request.options.on_timeout is TimeoutAction.FALLBACK:
+            self.stats.pushdown_fallbacks += 1
+            result = request.fn(ctx, *request.args)
+            request.completed_ns = ctx.now
+            self._finish(scheduler, request, result, None)
+            return
+        self._finish(scheduler, request, None, PushdownTimeout(
+            f"pushdown cancelled after {request.options.timeout_ns:.0f}ns in "
+            "the memory-pool admission queue",
+            cancelled=True,
+        ))
+
+    # ------------------------------------------------------------------
+    # The synchronous path (direct ctx.pushdown under a serving platform)
+    # ------------------------------------------------------------------
+    def run_inline(self, runtime, ctx, fn, args, options, verify=False):
+        """Slot-bound a synchronous ``pushdown()`` call.
+
+        No free slot means the call queues in virtual time: the wait is
+        charged to the caller's clock and accounted to its tenant. A
+        synchronous caller cannot be reordered retroactively, so this path
+        is FIFO regardless of the configured policy.
+        """
+        share = self.share_for(ctx)
+        share.submitted += 1
+        arrival = ctx.now
+        slot = min(range(len(self.slot_free_at)), key=self.slot_free_at.__getitem__)
+        start = max(arrival, self.slot_free_at[slot])
+        self._emit(
+            arrival, "enqueue", tenant=share.name, request="inline",
+            depth=self.queue_depth(arrival),
+        )
+        timeout = options.timeout_ns
+        if (
+            timeout is not None
+            and options.on_timeout is not TimeoutAction.WAIT
+            and start - arrival > timeout
+        ):
+            share.cancelled += 1
+            share.queue_delay_ns += timeout
+            expiry = arrival + timeout
+            ctx.thread.clock.advance_to(expiry)
+            self.stats.pushdown_timeouts += 1
+            self.stats.pushdown_cancellations += 1
+            runtime.breaker_for(ctx.thread.process).record_failure(expiry)
+            self._emit(
+                expiry, "cancel", tenant=share.name, request="inline",
+                waited_ms=round(timeout / 1e6, 6),
+            )
+            if options.on_timeout is TimeoutAction.FALLBACK:
+                self.stats.pushdown_fallbacks += 1
+                return fn(ctx, *args)
+            raise PushdownTimeout(
+                f"pushdown cancelled after {timeout:.0f}ns in the memory-pool "
+                "admission queue",
+                cancelled=True,
+            )
+        share.dispatched += 1
+        share.queue_delay_ns += start - arrival
+        ctx.thread.clock.advance_to(start)
+        self._emit(
+            start, "dispatch", tenant=share.name, request="inline",
+            wait_ms=round((start - arrival) / 1e6, 6),
+            depth=len(self.queue),
+        )
+        breakdowns_before = len(runtime.breakdowns)
+        dispatch_options = _remaining_timeout(options, start - arrival)
+        try:
+            self.dispatching = True
+            result = runtime.pushdown(
+                ctx, fn, *args, options=dispatch_options, verify=verify
+            )
+        except ReproError as exc:
+            self._release_slot(slot, breakdowns_before, ctx, start, share)
+            self._emit(
+                ctx.now, "complete", tenant=share.name, request="inline",
+                outcome=type(exc).__name__,
+            )
+            raise
+        finally:
+            self.dispatching = False
+        end_ns = self._release_slot(slot, breakdowns_before, ctx, start, share)
+        share.completed += 1
+        self._emit(
+            ctx.now, "complete", tenant=share.name, request="inline",
+            outcome="ok",
+            service_ms=round(
+                ((end_ns if end_ns is not None else ctx.now) - start) / 1e6, 6
+            ),
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Shared internals
+    # ------------------------------------------------------------------
+    def _release_slot(self, slot, breakdowns_before, ctx, start_ns, share):
+        """Mark the slot free at the memory-side execution end.
+
+        A call that never occupied an instance (breaker short-circuit,
+        cancelled before commit) appends no breakdown and leaves the slot
+        untouched. The caller's clock sits past the response and post-sync
+        transfers; subtracting them recovers when the slot itself freed.
+        """
+        runtime = self.runtime
+        if len(runtime.breakdowns) <= breakdowns_before:
+            return None
+        breakdown = runtime.breakdowns[-1]
+        end = max(start_ns, ctx.now - (breakdown.response_ns + breakdown.post_sync_ns))
+        self.slot_free_at[slot] = end
+        share.service_ns += end - start_ns
+        return end
+
+    def _pick(self, eligible):
+        """The policy's choice among requests whose arrival has passed."""
+        if self.policy is QueuePolicy.FIFO:
+            key = lambda r: (r.arrival_ns, r.seq)
+        elif self.policy is QueuePolicy.PRIORITY:
+            key = lambda r: (-r.share.priority, r.arrival_ns, r.seq)
+        elif self.policy is QueuePolicy.FAIR:
+            key = lambda r: (r.share.service_ns / r.share.weight, r.arrival_ns, r.seq)
+        else:
+            raise ReproError(f"unknown queue policy {self.policy!r}")
+        return min(eligible, key=key)
+
+    def _emit(self, at_ns, phase, **detail):
+        tracer = self.platform.tracer
+        if tracer.enabled:
+            tracer.emit(at_ns, "sched", phase=phase, **detail)
+
+    def __repr__(self):
+        return (
+            f"PoolScheduler(slots={len(self.slot_free_at)}, "
+            f"policy={self.policy.value}, queued={len(self.queue)})"
+        )

@@ -8,6 +8,40 @@ Figure 22's coherence messages).
 
 from dataclasses import dataclass, fields
 
+from repro.errors import ConfigError
+
+
+def percentile(values, p):
+    """The ``p``-th percentile of ``values`` (linear interpolation).
+
+    Deterministic and dependency-free: sorts a copy and interpolates
+    between the two nearest ranks, matching numpy's default method. The
+    serving benchmarks report tail latency with this, so it must behave
+    identically on every platform and Python version.
+    """
+    if not 0 <= p <= 100:
+        raise ConfigError(f"percentile must be in [0, 100], got {p}")
+    data = sorted(values)
+    if not data:
+        raise ConfigError("percentile of an empty sequence")
+    if len(data) == 1:
+        return float(data[0])
+    rank = (p / 100.0) * (len(data) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(data) - 1)
+    frac = rank - lo
+    return float(data[lo]) + (float(data[hi]) - float(data[lo])) * frac
+
+
+def p50(values):
+    """Median latency helper."""
+    return percentile(values, 50)
+
+
+def p99(values):
+    """Tail latency helper."""
+    return percentile(values, 99)
+
 
 @dataclass
 class Stats:

@@ -43,6 +43,8 @@ class Tracer:
         "pushdown",     # pushdown lifecycle (begin/finish/cancel/abort)
         "syncmem",      # manual synchronisation calls
         "sanitizer",    # runtime invariant sanitizer findings
+        "sched",        # memory-pool admission queue (enqueue/dispatch/
+                        # cancel/complete, emitted by the serving layer)
     })
 
     def __init__(self, limit=100_000):

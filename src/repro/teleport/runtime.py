@@ -82,6 +82,9 @@ class TeleportRuntime:
         self.detector = HeartbeatDetector(self.config, self.stats)
         self._breakers = {}
         self._request_counter = 0
+        #: Optional :class:`~repro.serve.pool.PoolScheduler`; when installed
+        #: every ``pushdown()`` is admission-controlled by its slot model.
+        self.pool_scheduler = None
 
     # ------------------------------------------------------------------
     # Failure injection (Section 3.2, exception and fault handling)
@@ -161,7 +164,18 @@ class TeleportRuntime:
         failures trip the per-process circuit breaker, which routes calls
         to the compute pool until a probe succeeds. User errors never
         trip the breaker — a buggy function stays buggy wherever it runs.
+
+        When a serving :class:`~repro.serve.pool.PoolScheduler` is
+        installed, the call first passes admission control: it waits (in
+        virtual time) for a free memory-pool execution slot instead of
+        executing instantly.
         """
+        scheduler = self.pool_scheduler
+        if scheduler is not None and not scheduler.dispatching:
+            options = _resolve_options(
+                options, consistency, sync, timeout_ns, sync_regions, on_timeout
+            )
+            return scheduler.run_inline(self, ctx, fn, args, options, verify)
         if verify:
             # Imported lazily: the analysis layer sits above the runtime.
             from repro.analysis.verifier import assert_pushdownable

@@ -1,0 +1,72 @@
+"""Serving determinism: same seed, same virtual history, byte for byte.
+
+The whole serving stack — tenant interleaving, admission-queue ordering,
+the adaptive offload decisions — runs on virtual clocks and seeded RNGs,
+so two runs with the same seed must produce byte-identical latency tables
+and identical scheduler traces.
+"""
+
+from repro.bench.serving import serve_mixed
+from repro.serve.adapters import mapreduce_workload, sql_workload
+from repro.serve.offload import OffloadPolicy
+from repro.serve.pool import QueuePolicy
+from repro.serve.tenant import Server
+from repro.sim.config import DdcConfig
+from repro.sim.units import MIB
+
+
+def _small_serve(seed, trace=False):
+    config = DdcConfig(compute_cache_bytes=2 * MIB, seed=seed)
+    server = Server(config, offload=OffloadPolicy.ADAPTIVE,
+                    queue_policy=QueuePolicy.FAIR)
+    if trace:
+        server.platform.tracer.enable(kinds={"sched"})
+    server.admit(
+        "sql",
+        sql_workload(n_rows=20_000, n_requests=3, seed=seed),
+        arrival_ns=0.0, weight=2.0,
+    )
+    server.admit(
+        "mr",
+        mapreduce_workload(n_tokens=400_000, n_splits=4, seed=seed),
+        arrival_ns=5e5,
+    )
+    report = server.run()
+    return server, report
+
+
+def test_same_seed_latency_tables_identical():
+    _, report_a = _small_serve(seed=2022)
+    _, report_b = _small_serve(seed=2022)
+    table_a = report_a.latency_table()
+    table_b = report_b.latency_table()
+    assert table_a == table_b
+    assert table_a.encode() == table_b.encode()  # byte-identical
+    assert report_a.pushed == report_b.pushed
+    assert report_a.total_completion_ns == report_b.total_completion_ns
+
+
+def test_same_seed_sched_traces_identical():
+    server_a, _ = _small_serve(seed=7, trace=True)
+    server_b, _ = _small_serve(seed=7, trace=True)
+    events_a = [str(e) for e in server_a.platform.tracer.of_kind("sched")]
+    events_b = [str(e) for e in server_b.platform.tracer.of_kind("sched")]
+    assert events_a, "expected sched events from the admission queue"
+    assert events_a == events_b
+
+
+def test_same_seed_queue_accounting_identical():
+    server_a, report_a = _small_serve(seed=11)
+    server_b, report_b = _small_serve(seed=11)
+    assert report_a.queue_delays_ns() == report_b.queue_delays_ns()
+    for name, share_a in server_a.pool.shares.items():
+        share_b = server_b.pool.shares[name]
+        assert share_a.dispatched == share_b.dispatched
+        assert share_a.service_ns == share_b.service_ns
+
+
+def test_benchmark_mix_deterministic_across_runs():
+    """The full benchmark tenant mix repeats exactly (acceptance check)."""
+    report_a = serve_mixed(OffloadPolicy.ADAPTIVE, QueuePolicy.FAIR)
+    report_b = serve_mixed(OffloadPolicy.ADAPTIVE, QueuePolicy.FAIR)
+    assert report_a.latency_table() == report_b.latency_table()

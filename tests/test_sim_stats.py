@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.sim.stats import PushdownBreakdown, Stats
+from repro.errors import ConfigError
+from repro.sim.stats import (
+    PushdownBreakdown,
+    Stats,
+    p50,
+    p99,
+    percentile,
+)
 
 
 def test_stats_start_at_zero():
@@ -70,3 +77,47 @@ def test_breakdown_merge_accumulates():
     assert total.pre_sync_ns == pytest.approx(15)
     assert total.function_ns == pytest.approx(1)
     assert total.response_ns == pytest.approx(2)
+
+
+# ----------------------------------------------------------------------
+# Percentiles (serving-latency reporting helpers)
+# ----------------------------------------------------------------------
+def test_percentile_interpolates_between_ranks():
+    data = [10, 20, 30, 40]
+    assert percentile(data, 0) == 10.0
+    assert percentile(data, 100) == 40.0
+    assert percentile(data, 50) == pytest.approx(25.0)
+    assert percentile(data, 25) == pytest.approx(17.5)
+
+
+def test_percentile_matches_numpy_default():
+    np = pytest.importorskip("numpy")
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 1_000_000, size=101).tolist()
+    for p in (0, 1, 12.5, 50, 90, 99, 100):
+        assert percentile(data, p) == pytest.approx(np.percentile(data, p))
+
+
+def test_percentile_ignores_input_order():
+    data = [5, 1, 9, 3, 7]
+    assert percentile(data, 50) == percentile(sorted(data), 50)
+
+
+def test_percentile_single_value():
+    assert percentile([42], 99) == 42.0
+
+
+def test_percentile_rejects_bad_inputs():
+    with pytest.raises(ConfigError):
+        percentile([], 50)
+    with pytest.raises(ConfigError):
+        percentile([1, 2], -1)
+    with pytest.raises(ConfigError):
+        percentile([1, 2], 101)
+
+
+def test_p50_p99_shorthands():
+    data = list(range(1, 101))
+    assert p50(data) == percentile(data, 50)
+    assert p99(data) == percentile(data, 99)
+    assert p99(data) > p50(data)
